@@ -1,0 +1,155 @@
+package ctbia
+
+import (
+	"fmt"
+
+	"ctbia/internal/cpu"
+	"ctbia/internal/ct"
+	"ctbia/internal/memp"
+)
+
+// Array is a protected array in simulated memory: element accesses with
+// secret indices go through the array's mitigation, leaving a
+// secret-independent cache footprint (except for Insecure, which is the
+// leaky baseline). The whole array is the dataflow linearization set of
+// each access — the common case for lookup tables, histogram bins and
+// the paper's benchmark programs.
+type Array struct {
+	sys      *System
+	region   memp.Region
+	ds       *ct.LinSet
+	strat    ct.Strategy
+	mi       Mitigation
+	elemSize int
+	length   int
+}
+
+// newArray allocates and wires a protected array.
+func (s *System) newArray(name string, length, elemSize int, mi Mitigation, threshold int) *Array {
+	if length <= 0 {
+		panic("ctbia: array length must be positive")
+	}
+	reg := s.m.Alloc.Alloc(name, uint64(length*elemSize))
+	return &Array{
+		sys:      s,
+		region:   reg,
+		ds:       ct.FromRegion(reg),
+		strat:    s.strategyFor(mi, threshold),
+		mi:       mi,
+		elemSize: elemSize,
+		length:   length,
+	}
+}
+
+// NewArray32 allocates a protected array of length 32-bit elements.
+func (s *System) NewArray32(name string, length int, mi Mitigation) *Array {
+	return s.newArray(name, length, 4, mi, 0)
+}
+
+// NewArray64 allocates a protected array of length 64-bit elements.
+func (s *System) NewArray64(name string, length int, mi Mitigation) *Array {
+	return s.newArray(name, length, 8, mi, 0)
+}
+
+// NewArray8 allocates a protected byte array.
+func (s *System) NewArray8(name string, length int, mi Mitigation) *Array {
+	return s.newArray(name, length, 1, mi, 0)
+}
+
+// NewArray32Threshold is NewArray32 with the Sec. 6.5 fetchset-size
+// threshold enabled for BIAAssisted arrays: page spans whose fetchset
+// exceeds threshold lines are serviced straight from DRAM.
+func (s *System) NewArray32Threshold(name string, length int, threshold int) *Array {
+	return s.newArray(name, length, 4, BIAAssisted, threshold)
+}
+
+// Len returns the element count.
+func (a *Array) Len() int { return a.length }
+
+// Bytes returns the array's size in bytes.
+func (a *Array) Bytes() uint64 { return a.region.Size }
+
+// DSLines returns the dataflow-linearization-set size in cache lines.
+func (a *Array) DSLines() int { return a.ds.NumLines() }
+
+// Mitigation returns the array's configured mitigation.
+func (a *Array) Mitigation() Mitigation { return a.mi }
+
+// Addr returns the simulated physical address of element i.
+func (a *Array) Addr(i int) uint64 { return uint64(a.region.Base) + uint64(i*a.elemSize) }
+
+func (a *Array) addr(i int) memp.Addr {
+	if i < 0 || i >= a.length {
+		panic(fmt.Sprintf("ctbia: index %d out of range [0,%d) in array %q", i, a.length, a.region.Name))
+	}
+	return a.region.Base + memp.Addr(i*a.elemSize)
+}
+
+func (a *Array) width() cpu.Width {
+	switch a.elemSize {
+	case 1:
+		return cpu.W8
+	case 4:
+		return cpu.W32
+	default:
+		return cpu.W64
+	}
+}
+
+// Load reads element i with the array's mitigation. The index may be
+// secret: the cache footprint does not depend on it.
+func (a *Array) Load(i int) uint64 {
+	return a.strat.Load(a.sys.m, a.ds, a.addr(i), a.width())
+}
+
+// Store writes element i with the array's mitigation.
+func (a *Array) Store(i int, v uint64) {
+	a.strat.Store(a.sys.m, a.ds, a.addr(i), v, a.width())
+}
+
+// LoadLines performs a protected bulk gather of nLines consecutive
+// cache lines starting at element first (which must be line-aligned:
+// first*elemSize a multiple of 64). Used for oblivious row fetches.
+func (a *Array) LoadLines(first, nLines int) []byte {
+	return a.strat.LoadBlock(a.sys.m, a.ds, a.addr(first), nLines)
+}
+
+// Set writes element i directly (setup/initialization: no timing, no
+// cache effects — like loading the program's inputs from disk).
+func (a *Array) Set(i int, v uint64) {
+	addr := a.addr(i)
+	switch a.elemSize {
+	case 1:
+		a.sys.m.Mem.Write8(addr, byte(v))
+	case 4:
+		a.sys.m.Mem.Write32(addr, uint32(v))
+	default:
+		a.sys.m.Mem.Write64(addr, v)
+	}
+}
+
+// Peek reads element i directly (inspection: no timing, no cache
+// effects).
+func (a *Array) Peek(i int) uint64 {
+	addr := a.addr(i)
+	switch a.elemSize {
+	case 1:
+		return uint64(a.sys.m.Mem.Read8(addr))
+	case 4:
+		return uint64(a.sys.m.Mem.Read32(addr))
+	default:
+		return a.sys.m.Mem.Read64(addr)
+	}
+}
+
+// Select returns a if pred else b in constant time, charging the cmov
+// to the machine — the control-flow-linearization companion to the
+// protected arrays.
+func (s *System) Select(pred bool, a, b uint64) uint64 {
+	return ct.Select(s.m, pred, a, b)
+}
+
+// Select32 is Select for 32-bit values.
+func (s *System) Select32(pred bool, a, b uint32) uint32 {
+	return ct.Select32(s.m, pred, a, b)
+}

@@ -1,0 +1,57 @@
+// Command ctbench regenerates every table and figure of the paper's
+// evaluation (plus the repository's ablations) on the simulator.
+//
+// Usage:
+//
+//	ctbench -exp all          # every experiment, paper-scale sizes
+//	ctbench -exp fig7a        # one experiment
+//	ctbench -exp fig2,fig9    # a comma-separated list
+//	ctbench -quick            # shrunken sizes for a fast smoke run
+//	ctbench -list             # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ctbia/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id, comma-separated list, or 'all'")
+	quick := flag.Bool("quick", false, "use shrunken problem sizes")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []harness.Experiment
+	if *exp == "all" {
+		selected = harness.Experiments()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := harness.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opts := harness.Options{Quick: *quick}
+	for _, e := range selected {
+		start := time.Now()
+		table := e.Run(opts)
+		fmt.Print(table.Render())
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,232 @@
+// Package ctbia is a simulator and runtime library for BIA-assisted
+// constant-time programming, reproducing "Hardware Support for
+// Constant-Time Programming" (MICRO 2023).
+//
+// The paper's problem: software constant-time programming hides
+// secret-dependent memory accesses by touching every address the access
+// could have used (its dataflow linearization set, DS), which becomes
+// ruinously slow when the DS is large. The paper's fix: a small
+// hardware bitmap table (the BIA) that mirrors which cache lines of a
+// page exist and are dirty, exposed through two micro-ops (CTLoad and
+// CTStore) that probe the cache without perturbing it. With that
+// information, the mitigated program only needs to touch the DS lines
+// the cache does NOT already hold — a footprint that is still
+// secret-independent but usually tiny.
+//
+// This package is the public face of the repository: it builds a
+// simulated machine (caches + BIA + cost model), lets you allocate
+// protected arrays whose accesses go through a chosen mitigation, and
+// exposes the measurement and attack tooling used by the paper's
+// evaluation. Internals live under internal/ (cache hierarchy, BIA,
+// machine model, constant-time runtime, workloads, crypto kernels,
+// attacker, experiment harness).
+//
+// Quick start:
+//
+//	sys := ctbia.NewSystem(ctbia.DefaultConfig())
+//	lut := sys.NewArray32("lut", 4096, ctbia.BIAAssisted)
+//	lut.Store(secretIdx, 42)      // constant-time footprint
+//	v := lut.Load(secretIdx)      // constant-time footprint
+//	fmt.Println(sys.Stats().Cycles)
+package ctbia
+
+import (
+	"fmt"
+
+	"ctbia/internal/bia"
+	"ctbia/internal/cache"
+	"ctbia/internal/cpu"
+	"ctbia/internal/ct"
+	"ctbia/internal/memp"
+)
+
+// Placement selects where the BIA lives (paper Secs. 4.2, 6.4).
+type Placement int
+
+// BIA placements.
+const (
+	// NoBIA models stock hardware (insecure or software-CT runs).
+	NoBIA Placement = iota
+	// InL1D is the paper's default: lowest probe latency.
+	InL1D
+	// InL2 trades probe latency for capacity (wins when the DS
+	// self-evicts the L1, e.g. the paper's dij_128).
+	InL2
+	// InLLC is the Sec. 6.4 placement for sliced last-level caches.
+	InLLC
+)
+
+// CacheSpec sizes one cache level.
+type CacheSpec struct {
+	Size    int // bytes
+	Ways    int
+	Latency int // cycles
+}
+
+// Config describes the simulated machine. The zero value is not valid;
+// start from DefaultConfig.
+type Config struct {
+	L1D, L2, LLC CacheSpec
+	DRAMLatency  int
+
+	// BIAEntries/BIAWays/BIALatency size the bitmap table.
+	BIAEntries, BIAWays, BIALatency int
+	// BIA places the table (NoBIA disables the CT micro-ops).
+	BIA Placement
+	// Inclusive enforces cache inclusion with back-invalidation,
+	// giving a cross-core attacker who shares only the LLC eviction
+	// power over the victim's private caches. The paper's defence
+	// works either way (and the tests check that claim).
+	Inclusive bool
+}
+
+// DefaultConfig returns the paper's Table 1 machine: 64 KiB L1d @2cyc,
+// 1 MiB L2 @15cyc, 16 MiB LLC @41cyc, 200-cycle DRAM, and a 1 KiB
+// 1-cycle BIA in the L1d.
+func DefaultConfig() Config {
+	return Config{
+		L1D:         CacheSpec{Size: 64 << 10, Ways: 8, Latency: 2},
+		L2:          CacheSpec{Size: 1 << 20, Ways: 8, Latency: 15},
+		LLC:         CacheSpec{Size: 16 << 20, Ways: 16, Latency: 41},
+		DRAMLatency: 200,
+		BIAEntries:  64, BIAWays: 4, BIALatency: 1,
+		BIA: InL1D,
+	}
+}
+
+// System is one simulated machine plus its protected-memory runtime.
+type System struct {
+	m *cpu.Machine
+}
+
+// NewSystem builds a machine from cfg.
+func NewSystem(cfg Config) *System {
+	mc := cpu.Config{
+		Levels: []cache.Config{
+			{Name: "L1d", Size: cfg.L1D.Size, Ways: cfg.L1D.Ways, Latency: cfg.L1D.Latency},
+			{Name: "L2", Size: cfg.L2.Size, Ways: cfg.L2.Ways, Latency: cfg.L2.Latency},
+			{Name: "LLC", Size: cfg.LLC.Size, Ways: cfg.LLC.Ways, Latency: cfg.LLC.Latency},
+		},
+		DRAMLatency: cfg.DRAMLatency,
+		BIA:         bia.Config{Entries: cfg.BIAEntries, Ways: cfg.BIAWays, Latency: cfg.BIALatency},
+		BIALevel:    int(cfg.BIA),
+		Inclusive:   cfg.Inclusive,
+	}
+	return &System{m: cpu.New(mc)}
+}
+
+// NewDefaultSystem builds the Table 1 machine.
+func NewDefaultSystem() *System { return NewSystem(DefaultConfig()) }
+
+// HasBIA reports whether the machine carries the proposed hardware.
+func (s *System) HasBIA() bool { return s.m.HasBIA() }
+
+// Op charges n ALU instructions of application compute to the model.
+func (s *System) Op(n int) { s.m.Op(n) }
+
+// Stats is the machine's measurement snapshot.
+type Stats struct {
+	Cycles   uint64
+	Insts    uint64
+	L1IRefs  uint64
+	L1DRefs  uint64
+	L2Refs   uint64
+	LLCRefs  uint64
+	LLMisses uint64
+	DRAM     uint64
+}
+
+// Stats snapshots the counters.
+func (s *System) Stats() Stats {
+	r := s.m.Report()
+	return Stats{
+		Cycles: r.Cycles, Insts: r.Insts, L1IRefs: r.L1IRefs,
+		L1DRefs: r.L1DRefs, L2Refs: r.L2Refs, LLCRefs: r.LLCRefs,
+		LLMisses: r.LLMisses, DRAM: r.DRAM,
+	}
+}
+
+// ResetStats zeroes all counters without touching architectural state.
+func (s *System) ResetStats() { s.m.ResetStats() }
+
+// String renders the stats compactly.
+func (st Stats) String() string {
+	return fmt.Sprintf("cycles=%d insts=%d l1d=%d l2=%d llc=%d dram=%d",
+		st.Cycles, st.Insts, st.L1DRefs, st.L2Refs, st.LLCRefs, st.DRAM)
+}
+
+// Mitigation selects how a protected array's accesses are realized.
+type Mitigation int
+
+// Mitigations.
+const (
+	// Insecure performs plain accesses (the leaky baseline).
+	Insecure Mitigation = iota
+	// SoftwareCT is Constantine-style full dataflow linearization.
+	SoftwareCT
+	// SoftwareCTVec is its AVX2-style vectorized variant.
+	SoftwareCTVec
+	// BIAAssisted uses the paper's Algorithms 2/3 over CTLoad/CTStore
+	// (requires a BIA placement other than NoBIA).
+	BIAAssisted
+	// BIAMacroOp is the paper's Sec. 6.2 extension: the same
+	// algorithms fused into macro-operations, so the bitmaps never
+	// reach architectural registers (requires a BIA).
+	BIAMacroOp
+)
+
+// String names the mitigation.
+func (mi Mitigation) String() string {
+	switch mi {
+	case Insecure:
+		return "insecure"
+	case SoftwareCT:
+		return "software-ct"
+	case SoftwareCTVec:
+		return "software-ct-avx"
+	case BIAAssisted:
+		return "bia"
+	case BIAMacroOp:
+		return "bia-macro"
+	default:
+		return fmt.Sprintf("Mitigation(%d)", int(mi))
+	}
+}
+
+func (s *System) strategyFor(mi Mitigation, threshold int) ct.Strategy {
+	switch mi {
+	case Insecure:
+		return ct.Direct{}
+	case SoftwareCT:
+		return ct.Linear{}
+	case SoftwareCTVec:
+		return ct.LinearVec{}
+	case BIAAssisted:
+		if !s.m.HasBIA() {
+			panic("ctbia: BIAAssisted mitigation on a machine without a BIA (Config.BIA is NoBIA)")
+		}
+		return ct.BIA{Threshold: threshold}
+	case BIAMacroOp:
+		if !s.m.HasBIA() {
+			panic("ctbia: BIAMacroOp mitigation on a machine without a BIA (Config.BIA is NoBIA)")
+		}
+		return ct.BIAMacro{}
+	default:
+		panic(fmt.Sprintf("ctbia: unknown mitigation %d", int(mi)))
+	}
+}
+
+// Warm touches every line of the given arrays so subsequent measurement
+// starts from a warm cache (untimed), then resets the counters.
+func (s *System) Warm(arrays ...*Array) {
+	for _, a := range arrays {
+		s.m.WarmRegion(a.region.Base, a.region.Size)
+	}
+	s.ResetStats()
+}
+
+// LineSize is the simulated cache-line size in bytes.
+const LineSize = memp.LineSize
+
+// PageSize is the BIA's management granularity.
+const PageSize = memp.PageSize

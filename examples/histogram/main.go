@@ -1,0 +1,82 @@
+// Histogram service: the paper's running example as an application —
+// a cloud analytics kernel binning secret values (salaries, diagnoses,
+// ad clicks) on a machine shared with untrusted tenants. The bin update
+// out[t]++ indexes by the secret, so a cache attacker can read the data
+// distribution unless the access is mitigated.
+//
+// The example bins the same secret data set under all mitigations,
+// verifies the results agree, compares costs, and then proves the
+// security property the paper's Fig. 10 tests: the per-cache-set access
+// counts of protected runs are identical for different secret inputs.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ctbia"
+)
+
+const bins = 2000
+
+// binify runs the histogram kernel over the secret values.
+func binify(sys *ctbia.System, out *ctbia.Array, secret []int32) {
+	for _, v := range secret {
+		neg := v < 0
+		av := sys.Select(neg, uint64(-v), uint64(v))
+		sys.Op(2) // modulo + addressing
+		t := int(av) % out.Len()
+		cur := out.Load(t)
+		sys.Op(1)
+		out.Store(t, cur+1)
+	}
+}
+
+func run(mi ctbia.Mitigation, seed int64) (counts []uint64, cycles uint64, setCounts []uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	secret := make([]int32, bins)
+	for i := range secret {
+		secret[i] = int32(rng.Intn(2*bins-1) - bins + 1)
+	}
+
+	sys := ctbia.NewDefaultSystem()
+	tel := sys.NewTelemetry(1)
+	out := sys.NewArray32("bins", bins, mi)
+	sys.Warm(out)
+	binify(sys, out, secret)
+
+	counts = make([]uint64, bins)
+	for i := range counts {
+		counts[i] = out.Peek(i)
+	}
+	return counts, sys.Stats().Cycles, tel.Counts()
+}
+
+func main() {
+	fmt.Printf("histogram service: %d secret values into %d bins\n\n", bins, bins)
+
+	ref, insCycles, _ := run(ctbia.Insecure, 1)
+	fmt.Printf("%-16s %12s %10s %8s\n", "mitigation", "cycles", "overhead", "correct")
+	fmt.Printf("%-16s %12d %10s %8v\n", ctbia.Insecure, insCycles, "1.00x", true)
+	for _, mi := range []ctbia.Mitigation{ctbia.SoftwareCT, ctbia.SoftwareCTVec, ctbia.BIAAssisted} {
+		counts, cycles, _ := run(mi, 1)
+		correct := true
+		for i := range counts {
+			if counts[i] != ref[i] {
+				correct = false
+			}
+		}
+		fmt.Printf("%-16s %12d %9.2fx %8v\n", mi, cycles,
+			float64(cycles)/float64(insCycles), correct)
+	}
+
+	fmt.Println("\nsecurity check (paper Fig. 10): per-L1d-set access counts across secrets")
+	_, _, insA := run(ctbia.Insecure, 101)
+	_, _, insB := run(ctbia.Insecure, 202)
+	_, _, biaA := run(ctbia.BIAAssisted, 101)
+	_, _, biaB := run(ctbia.BIAAssisted, 202)
+	fmt.Printf("  insecure: counts identical across secrets = %v (attacker learns the data)\n",
+		ctbia.EqualCounts(insA, insB))
+	fmt.Printf("  bia:      counts identical across secrets = %v (attacker learns nothing)\n",
+		ctbia.EqualCounts(biaA, biaB))
+}

@@ -1,0 +1,3 @@
+module ctbia
+
+go 1.22

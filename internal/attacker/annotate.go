@@ -1,0 +1,77 @@
+package attacker
+
+import (
+	"fmt"
+	"strings"
+
+	"ctbia/internal/cache"
+	"ctbia/internal/memp"
+)
+
+// AnnotatedTrace records attacker-visible cache events in a structured,
+// human-readable form, resolving addresses against an allocator's
+// region map. cmd/cttrace uses it to show exactly what footprint each
+// mitigation leaves.
+type AnnotatedTrace struct {
+	alloc      *memp.Allocator
+	showProbes bool
+	lines      []string
+	n          int
+	max        int
+}
+
+// NewAnnotatedTrace subscribes a recorder resolving names via alloc.
+// max bounds the recorded lines (0 = unlimited). When showProbes is
+// true, architecturally-invisible CT probe events are included too,
+// marked distinctly — useful for understanding the algorithms even
+// though no attacker can see them.
+func NewAnnotatedTrace(h *cache.Hierarchy, alloc *memp.Allocator, max int, showProbes bool) *AnnotatedTrace {
+	tr := &AnnotatedTrace{alloc: alloc, max: max, showProbes: showProbes}
+	h.Subscribe(tr)
+	return tr
+}
+
+// CacheEvent implements cache.Listener.
+func (tr *AnnotatedTrace) CacheEvent(ev cache.Event) {
+	if ev.Probe && !tr.showProbes {
+		return
+	}
+	tr.n++
+	if tr.max > 0 && len(tr.lines) >= tr.max {
+		return
+	}
+	name := "?"
+	if r, ok := tr.alloc.Lookup(ev.Line); ok {
+		name = fmt.Sprintf("%s+%#x", r.Name, uint64(ev.Line-r.Base))
+	}
+	kind := ev.Kind.String()
+	if ev.Probe {
+		kind = "ct-probe-" + kind
+	}
+	rw := "r"
+	if ev.Write {
+		rw = "w"
+	}
+	d := ""
+	if ev.Dirty {
+		d = " dirty"
+	}
+	tr.lines = append(tr.lines,
+		fmt.Sprintf("L%d %-16s %s set=%-4d %s (%s)%s", ev.Level, kind, ev.Line, ev.Set, rw, name, d))
+}
+
+// Dump renders the recorded lines, noting truncation.
+func (tr *AnnotatedTrace) Dump() string {
+	var b strings.Builder
+	for _, l := range tr.lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	if tr.n > len(tr.lines) {
+		fmt.Fprintf(&b, "... (%d more events)\n", tr.n-len(tr.lines))
+	}
+	return b.String()
+}
+
+// Events returns the total number of events seen (including truncated).
+func (tr *AnnotatedTrace) Events() int { return tr.n }

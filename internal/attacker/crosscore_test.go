@@ -1,0 +1,107 @@
+package attacker
+
+import (
+	"testing"
+
+	"ctbia/internal/cache"
+	"ctbia/internal/cpu"
+	"ctbia/internal/ct"
+	"ctbia/internal/memp"
+)
+
+// crossMachine: small 3-level machine with an inclusive LLC, the
+// cross-core attack setting.
+func crossMachine(biaLevel int) *cpu.Machine {
+	return cpu.New(cpu.Config{
+		Levels: []cache.Config{
+			{Name: "L1d", Size: 4096, Ways: 2, Latency: 2},
+			{Name: "L2", Size: 16384, Ways: 4, Latency: 15},
+			{Name: "LLC", Size: 65536, Ways: 4, Latency: 41}, // 256 sets
+		},
+		DRAMLatency: 150,
+		BIA:         cpu.DefaultConfig().BIA,
+		BIALevel:    biaLevel,
+		Inclusive:   true,
+	})
+}
+
+func TestCrossCorePrimeProbeRecoversVictimSet(t *testing.T) {
+	m := crossMachine(0)
+	victim := m.Alloc.Alloc("victim", 4*memp.PageSize)
+	pp := NewCrossCorePrimeProbe(m.Hier, m.Alloc)
+
+	secretLine := 100
+	victimAddr := victim.Base + memp.Addr(secretLine*memp.LineSize)
+
+	pp.Prime()
+	m.Hier.Access(victimAddr, 0) // victim's secret access (from its core's L1)
+	hot := pp.HotSets(pp.Probe())
+
+	want := pp.SetOfVictim(victimAddr)
+	found := false
+	for _, s := range hot {
+		if s == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cross-core attack missed victim LLC set %d; hot=%v", want, hot)
+	}
+}
+
+func TestCrossCoreEvictionReachesVictimL1(t *testing.T) {
+	// With inclusion, the attacker's LLC priming back-invalidates the
+	// victim's private copies — the mechanism that makes cross-core
+	// Prime+Probe effective on real inclusive-LLC parts.
+	m := crossMachine(0)
+	victim := m.Alloc.Alloc("victim", memp.PageSize)
+	m.Hier.Access(victim.Base, 0) // victim caches a line privately
+	if p, _ := m.Hier.Level(1).Lookup(victim.Base); !p {
+		t.Fatal("precondition")
+	}
+	pp := NewCrossCorePrimeProbe(m.Hier, m.Alloc)
+	pp.Prime() // floods the LLC
+	if p, _ := m.Hier.Level(1).Lookup(victim.Base); p {
+		t.Fatal("LLC flood should back-invalidate the victim's L1 copy")
+	}
+}
+
+func TestCrossCoreBlindAgainstBIAVictim(t *testing.T) {
+	run := func(secretIdx int) []int {
+		m := crossMachine(1)
+		victim := m.Alloc.Alloc("victim", memp.PageSize)
+		ds := ct.FromRegion(victim)
+		pp := NewCrossCorePrimeProbe(m.Hier, m.Alloc)
+		pp.Prime()
+		ct.BIA{}.Load(m, ds, victim.Base+memp.Addr(secretIdx*memp.LineSize), cpu.W32)
+		return pp.Probe()
+	}
+	a, b := run(5), run(55)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cross-core probe differs at set %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestProtectedTraceIndependenceUnderInclusion(t *testing.T) {
+	// The paper's claim: inclusivity does not influence the defence.
+	trace := func(inclusive bool, secretIdx int) string {
+		m := crossMachine(1)
+		m.Hier.Inclusive = inclusive
+		tr := NewTrace(m.Hier)
+		victim := m.Alloc.Alloc("victim", memp.PageSize)
+		ds := ct.FromRegion(victim)
+		for i := 0; i < 6; i++ {
+			idx := (secretIdx + i*13) % 64
+			ct.BIA{}.Load(m, ds, victim.Base+memp.Addr(idx*memp.LineSize), cpu.W32)
+			ct.BIA{}.Store(m, ds, victim.Base+memp.Addr(((idx*3)%64)*memp.LineSize), 1, cpu.W32)
+		}
+		return tr.Key()
+	}
+	for _, inclusive := range []bool{false, true} {
+		if trace(inclusive, 2) != trace(inclusive, 47) {
+			t.Errorf("inclusive=%v: protected trace depends on the secret", inclusive)
+		}
+	}
+}

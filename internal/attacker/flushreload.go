@@ -1,0 +1,70 @@
+package attacker
+
+import (
+	"ctbia/internal/cache"
+	"ctbia/internal/memp"
+)
+
+// The paper's Sec. 2.1 names three cache attack models; Prime+Probe is
+// the one its security test exercises. This file supplies the other
+// two, so the repository's attack suite covers the full taxonomy.
+
+// FlushReload is the FLUSH+RELOAD attack: for memory the attacker can
+// address (shared read-only pages — the victim shares no *writable*
+// lines per the threat model), flush a candidate line, let the victim
+// run, then reload and time it. A fast reload means the victim brought
+// the line back — address-precise, line-granular.
+type FlushReload struct {
+	h *cache.Hierarchy
+}
+
+// NewFlushReload builds the attacker on the shared hierarchy.
+func NewFlushReload(h *cache.Hierarchy) *FlushReload {
+	return &FlushReload{h: h}
+}
+
+// Flush evicts the candidate line from every cache level (clflush).
+func (fr *FlushReload) Flush(addr memp.Addr) { fr.h.Flush(addr) }
+
+// Reload accesses the candidate and returns the measured latency.
+func (fr *FlushReload) Reload(addr memp.Addr) int {
+	return fr.h.Access(addr, 0).Cycles
+}
+
+// HitThreshold returns the latency below which a reload counts as a
+// cache hit (anything at or under the outermost level's cost).
+func (fr *FlushReload) HitThreshold() int {
+	total := 0
+	for i := 1; i <= fr.h.Levels(); i++ {
+		total += fr.h.Level(i).Latency()
+	}
+	return total
+}
+
+// WasTouched runs the classic decision: reload and compare.
+func (fr *FlushReload) WasTouched(addr memp.Addr) bool {
+	return fr.Reload(addr) <= fr.HitThreshold()
+}
+
+// EvictTime is the EVICT+TIME attack: evict a candidate line, run the
+// victim, and compare the victim's own execution time against an
+// uncontended run — slower means the victim needed the evicted line.
+// It needs no shared memory at all, only the ability to time the
+// victim and evict by conflict.
+type EvictTime struct {
+	h *cache.Hierarchy
+}
+
+// NewEvictTime builds the attacker on the shared hierarchy.
+func NewEvictTime(h *cache.Hierarchy) *EvictTime {
+	return &EvictTime{h: h}
+}
+
+// Evict removes the candidate line (modelled with a flush; a real
+// attacker uses conflicting fills — same observable effect).
+func (et *EvictTime) Evict(addr memp.Addr) { et.h.Flush(addr) }
+
+// TimeVictim measures the victim closure in simulated cycles using the
+// machine counter captured by the caller. The helper exists to document
+// the protocol; the measurement itself is just a cycles delta.
+func TimeVictim(before, after uint64) uint64 { return after - before }

@@ -1,0 +1,112 @@
+package attacker
+
+import (
+	"fmt"
+
+	"ctbia/internal/cache"
+	"ctbia/internal/memp"
+)
+
+// PrimeProbe is the paper's Algorithm 1 attacker: it fills every way of
+// every (monitored) set of the target cache level with its own lines,
+// lets the victim run, then re-accesses its lines timing each set. A
+// set whose probe is slow lost a line to the victim — revealing which
+// set, and hence which line, the victim touched.
+//
+// The attacker shares the hierarchy (the "same machine, shared cache"
+// threat model) but owns a disjoint address region, so it never shares
+// data lines with the victim.
+type PrimeProbe struct {
+	h     *cache.Hierarchy
+	level int
+	from  int // first level the attacker's accesses touch
+	c     *cache.Cache
+	base  memp.Addr
+}
+
+// NewPrimeProbe builds an attacker against the given cache level,
+// running on the victim's core (its accesses traverse the hierarchy
+// from L1). The filler region (ways x cache size at that level) is
+// carved from alloc.
+func NewPrimeProbe(h *cache.Hierarchy, level int, alloc *memp.Allocator) *PrimeProbe {
+	return newPP(h, level, 1, alloc)
+}
+
+// NewCrossCorePrimeProbe builds the paper's other-core attacker: it
+// shares only the last-level cache with the victim, so its accesses
+// enter the hierarchy at the LLC. Against an inclusive hierarchy its
+// LLC evictions back-invalidate the victim's private caches — the
+// classic cross-core Prime+Probe setting.
+func NewCrossCorePrimeProbe(h *cache.Hierarchy, alloc *memp.Allocator) *PrimeProbe {
+	return newPP(h, h.Levels(), h.Levels(), alloc)
+}
+
+func newPP(h *cache.Hierarchy, level, from int, alloc *memp.Allocator) *PrimeProbe {
+	c := h.Level(level)
+	size := uint64(c.Sets()) * uint64(c.Ways()) * memp.LineSize
+	reg := alloc.Alloc(fmt.Sprintf("attacker-L%d", level), size)
+	return &PrimeProbe{h: h, level: level, from: from, c: c, base: reg.Base}
+}
+
+// fillerAddr returns the attacker line for (set, way-slot). Lines for
+// the same set are spaced a full cache-stride apart so each maps to the
+// same set at the target level (standard eviction-set construction for
+// a physically-indexed cache). The page-aligned filler base need not
+// map to set 0, so the set argument is corrected by the base's own set.
+func (pp *PrimeProbe) fillerAddr(set, slot int) memp.Addr {
+	sets := pp.c.Sets()
+	baseSet := pp.c.SetOf(pp.base)
+	rel := uint64((set - baseSet + sets) % sets)
+	stride := uint64(sets) * memp.LineSize
+	return pp.base + memp.Addr(rel*memp.LineSize+uint64(slot)*stride)
+}
+
+// Prime accesses every way of every set ("Prime Phase"), leaving the
+// attacker in full occupancy of the target level.
+func (pp *PrimeProbe) Prime() {
+	for set := 0; set < pp.c.Sets(); set++ {
+		for slot := 0; slot < pp.c.Ways(); slot++ {
+			pp.h.AccessFrom(pp.from, pp.fillerAddr(set, slot), 0)
+		}
+	}
+}
+
+// Probe re-accesses every way of every set ("Probe Phase") and returns
+// the measured per-set access time in cycles — exactly what the paper's
+// attacker records. Evicted lines make their set measurably slower.
+func (pp *PrimeProbe) Probe() []int {
+	times := make([]int, pp.c.Sets())
+	for set := 0; set < pp.c.Sets(); set++ {
+		total := 0
+		for slot := 0; slot < pp.c.Ways(); slot++ {
+			r := pp.h.AccessFrom(pp.from, pp.fillerAddr(set, slot), 0)
+			total += r.Cycles
+		}
+		times[set] = total
+	}
+	return times
+}
+
+// HotSets compares a probe timing vector against the all-hit baseline
+// and returns the sets that were slower — the victim's footprint.
+func (pp *PrimeProbe) HotSets(times []int) []int {
+	baseline := 0
+	for l := pp.from; l <= pp.level; l++ {
+		baseline += pp.h.Level(l).Latency()
+	}
+	baseline *= pp.c.Ways()
+	var hot []int
+	for set, t := range times {
+		if t > baseline {
+			hot = append(hot, set)
+		}
+	}
+	return hot
+}
+
+// SetOfVictim maps a victim address to its set at the attacked level,
+// for ground-truth checks in tests and demos.
+func (pp *PrimeProbe) SetOfVictim(addr memp.Addr) int { return pp.c.SetOf(addr) }
+
+// Sets returns the number of sets at the attacked level.
+func (pp *PrimeProbe) Sets() int { return pp.c.Sets() }

@@ -1,0 +1,274 @@
+// Package bia implements the paper's BItmAp structure (Fig. 5): a small
+// set-associative table with one entry per 4 KiB page, each entry holding
+// a 64-bit existence bitmap and a 64-bit dirtiness bitmap — one bit per
+// cache line of the page — mirroring (a subset of) the state of the cache
+// level the BIA is attached to.
+//
+// The table snoops its cache level through the hierarchy's event bus:
+// hits set existence bits and mirror dirty bits, fills set existence,
+// evictions/invalidations clear both, and dirty-bit transitions set
+// dirtiness. A freshly installed entry starts all-zero even if some of
+// the page's lines are already cached; the paper proves this
+// "subset-of-truth" inconsistency is harmless for both functionality and
+// security, and package tests enforce the subset invariant.
+package bia
+
+import (
+	"fmt"
+
+	"ctbia/internal/cache"
+	"ctbia/internal/memp"
+)
+
+// Config sizes the BIA.
+type Config struct {
+	// Entries is the total number of page entries. The paper's 1 KiB
+	// BIA holds 64 entries of 16 bytes of bitmap payload.
+	Entries int
+	// Ways is the associativity (paper-style set-associative
+	// placement with LRU replacement).
+	Ways int
+	// Latency is the lookup latency in cycles (Table 1: 1 cycle).
+	// The BIA is probed in parallel with the cache tag array, so the
+	// machine model charges max(cache latency, BIA latency).
+	Latency int
+	// ChunkShift is the DS-management granularity exponent (the
+	// paper's M): each entry tracks one 2^ChunkShift-byte chunk. Zero
+	// selects the paper's default M=12 (page granularity). Values in
+	// (6, 12) support Sec. 6.4's LLC placement on machines whose
+	// slice hash consumes bits below 12 (M = LS_Hash).
+	ChunkShift int
+}
+
+// normShift resolves the configured granularity.
+func (c Config) normShift() int {
+	if c.ChunkShift == 0 {
+		return memp.PageShift
+	}
+	return c.ChunkShift
+}
+
+// DefaultConfig matches the paper's Table 1: a 1 KiB, 1-cycle BIA.
+// 1 KiB of bitmap payload at 16 B/entry is 64 entries; 4-way works out
+// to 16 sets.
+func DefaultConfig() Config { return Config{Entries: 64, Ways: 4, Latency: 1} }
+
+type entry struct {
+	valid   bool
+	pageIdx uint64
+	exist   uint64
+	dirty   uint64
+	stamp   uint64
+}
+
+// Stats counts BIA activity.
+type Stats struct {
+	Lookups   uint64
+	Hits      uint64
+	Misses    uint64 // lookups that installed a fresh entry
+	Evictions uint64 // entries displaced by installs
+	Snoops    uint64 // cache events applied to some entry
+}
+
+// Table is the BIA.
+type Table struct {
+	cfg     Config
+	shift   int // chunk granularity exponent (M)
+	sets    int
+	entries []entry
+	clock   uint64
+	level   int // cache level being monitored, 0 = detached
+
+	Stats Stats
+}
+
+// New builds a BIA from cfg.
+func New(cfg Config) *Table {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		panic(fmt.Sprintf("bia: invalid geometry entries=%d ways=%d", cfg.Entries, cfg.Ways))
+	}
+	shift := cfg.normShift()
+	if shift <= memp.LineShift || shift > memp.PageShift {
+		panic(fmt.Sprintf("bia: chunk shift %d out of range (%d, %d]", shift, memp.LineShift, memp.PageShift))
+	}
+	return &Table{
+		cfg:     cfg,
+		shift:   shift,
+		sets:    cfg.Entries / cfg.Ways,
+		entries: make([]entry, cfg.Entries),
+	}
+}
+
+// ChunkShift returns the table's management-granularity exponent M.
+func (t *Table) ChunkShift() int { return t.shift }
+
+// chunkIdx returns the chunk number of addr at this table's granularity.
+func (t *Table) chunkIdx(addr memp.Addr) uint64 { return uint64(addr) >> uint(t.shift) }
+
+// lineBit returns the bitmap bit position of addr's line within its chunk.
+func (t *Table) lineBit(addr memp.Addr) uint {
+	return uint((uint64(addr) >> memp.LineShift) & (1<<uint(t.shift-memp.LineShift) - 1))
+}
+
+// Config returns the table's configuration.
+func (t *Table) Config() Config { return t.cfg }
+
+// Latency returns the lookup latency in cycles.
+func (t *Table) Latency() int { return t.cfg.Latency }
+
+// Level returns the cache level this BIA monitors (0 if detached).
+func (t *Table) Level() int { return t.level }
+
+// AttachTo subscribes the BIA to the hierarchy's event stream, filtered
+// to the given cache level. A BIA monitors exactly one level (the paper
+// places it in L1d, L2 or the LLC).
+func (t *Table) AttachTo(h *cache.Hierarchy, level int) {
+	if t.level != 0 {
+		panic("bia: already attached")
+	}
+	if level < 1 || level > h.Levels() {
+		panic(fmt.Sprintf("bia: level %d out of range", level))
+	}
+	t.level = level
+	h.Subscribe(t)
+}
+
+func (t *Table) set(idx int) []entry {
+	return t.entries[idx*t.cfg.Ways : (idx+1)*t.cfg.Ways]
+}
+
+func (t *Table) setOf(chunkIdx uint64) int { return int(chunkIdx % uint64(t.sets)) }
+
+func (t *Table) find(chunkIdx uint64) *entry {
+	ways := t.set(t.setOf(chunkIdx))
+	for w := range ways {
+		if ways[w].valid && ways[w].pageIdx == chunkIdx {
+			return &ways[w]
+		}
+	}
+	return nil
+}
+
+// CacheEvent implements cache.Listener: the snoop port of Fig. 5.
+func (t *Table) CacheEvent(ev cache.Event) {
+	if ev.Level != t.level {
+		return
+	}
+	e := t.find(t.chunkIdx(ev.Line))
+	if e == nil {
+		return // no entry for this chunk: nothing to maintain
+	}
+	bit := uint64(1) << t.lineBit(ev.Line)
+	switch ev.Kind {
+	case cache.EvHit:
+		t.Stats.Snoops++
+		e.exist |= bit
+		if ev.Dirty {
+			e.dirty |= bit
+		}
+	case cache.EvFill:
+		t.Stats.Snoops++
+		e.exist |= bit
+	case cache.EvEvict:
+		t.Stats.Snoops++
+		e.exist &^= bit
+		e.dirty &^= bit
+	case cache.EvDirty:
+		t.Stats.Snoops++
+		e.exist |= bit
+		e.dirty |= bit
+	}
+}
+
+// LookupOrInstall is the BIA side of CTLoad/CTStore: it returns the
+// existence and dirtiness bitmaps for the page containing addr,
+// installing a zero-initialized entry on miss ("an entry is allocated
+// and initialized with the existence and dirtiness bits set to 0, and it
+// fills the tag with the page index").
+func (t *Table) LookupOrInstall(addr memp.Addr) (exist, dirty uint64) {
+	pageIdx := t.chunkIdx(addr)
+	t.Stats.Lookups++
+	if e := t.find(pageIdx); e != nil {
+		t.Stats.Hits++
+		t.clock++
+		e.stamp = t.clock
+		return e.exist, e.dirty
+	}
+	t.Stats.Misses++
+	// Install: LRU victim among the set's ways.
+	ways := t.set(t.setOf(pageIdx))
+	victim := 0
+	for w := range ways {
+		if !ways[w].valid {
+			victim = w
+			break
+		}
+		if ways[w].stamp < ways[victim].stamp {
+			victim = w
+		}
+	}
+	if ways[victim].valid {
+		t.Stats.Evictions++
+	}
+	t.clock++
+	ways[victim] = entry{valid: true, pageIdx: pageIdx, stamp: t.clock}
+	return 0, 0
+}
+
+// Peek returns the bitmaps for addr's page without installing or
+// touching LRU state; for tests and debugging.
+func (t *Table) Peek(addr memp.Addr) (exist, dirty uint64, ok bool) {
+	if e := t.find(t.chunkIdx(addr)); e != nil {
+		return e.exist, e.dirty, true
+	}
+	return 0, 0, false
+}
+
+// ResetStats zeroes the counters without touching table contents.
+func (t *Table) ResetStats() { t.Stats = Stats{} }
+
+// Pages returns the page indices currently tracked, for tests.
+func (t *Table) Pages() []uint64 {
+	var out []uint64
+	for i := range t.entries {
+		if t.entries[i].valid {
+			out = append(out, t.entries[i].pageIdx)
+		}
+	}
+	return out
+}
+
+// CheckSubset verifies the security-critical invariant from the paper's
+// Sec. 5.3: every existence bit the BIA holds corresponds to a line that
+// is actually present at the monitored level, and every dirtiness bit to
+// a line that is actually dirty there. (The converse need not hold.)
+// It returns a descriptive error on the first violation.
+func (t *Table) CheckSubset(h *cache.Hierarchy) error {
+	if t.level == 0 {
+		return fmt.Errorf("bia: not attached")
+	}
+	c := h.Level(t.level)
+	linesPerChunk := uint(1) << uint(t.shift-memp.LineShift)
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			continue
+		}
+		chunkBase := memp.Addr(e.pageIdx << uint(t.shift))
+		for slot := uint(0); slot < linesPerChunk; slot++ {
+			bit := uint64(1) << slot
+			la := chunkBase + memp.Addr(slot<<memp.LineShift)
+			present, dirty := c.Lookup(la)
+			if e.exist&bit != 0 && !present {
+				return fmt.Errorf("bia: existence bit set for absent line %v (chunk %#x slot %d)", la, e.pageIdx, slot)
+			}
+			if e.dirty&bit != 0 && !dirty {
+				return fmt.Errorf("bia: dirtiness bit set for non-dirty line %v (chunk %#x slot %d)", la, e.pageIdx, slot)
+			}
+			if e.dirty&bit != 0 && e.exist&bit == 0 {
+				return fmt.Errorf("bia: dirty bit without existence bit for line %v", la)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package bia
+
+// LLCPlacement implements the paper's Sec. 6.4 feasibility rule for
+// putting the BIA into a sliced last-level cache. lsHash is the index
+// of the least significant physical-address bit used by the LLC slice
+// hash (LS_Hash). The returned m is the required DS-management
+// granularity exponent (the paper's M); feasible is false when
+// continuous cache lines are spread across slices (LS_Hash = 6, as on
+// Intel Xeon E5-2430), which makes an LLC-resident BIA impossible.
+func LLCPlacement(lsHash int) (m int, feasible bool) {
+	switch {
+	case lsHash >= 12:
+		// Slice traffic leaks at ≥ page granularity (e.g. Skylake-X):
+		// keep the page-size management granularity.
+		return 12, true
+	case lsHash > 6:
+		// Management granularity must shrink to the hash granularity
+		// so that a whole DS-management set lives in one slice.
+		return lsHash, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,318 @@
+// Package cache implements the timing-relevant memory system of the
+// simulator: set-associative write-back caches with pluggable replacement
+// policies, a multi-level hierarchy with the paper's Table 1 latencies,
+// and an event bus that exposes exactly the signals the paper's BIA
+// hardware snoops (hits, fills, evictions/invalidations, dirty-bit
+// transitions) plus per-set access events for the security telemetry.
+//
+// Caches here track metadata and timing only. Data always lives in the
+// simulated physical memory (internal/memp); this is the standard
+// trace-simulator factoring and it makes the CTStore "write only when
+// dirty, otherwise DO NOTHING" semantics straightforward: skipping the
+// write is skipping the memory update.
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ctbia/internal/memp"
+)
+
+// Policy selects the replacement policy of a cache.
+type Policy int
+
+// Replacement policies.
+const (
+	// LRU is the paper's default policy.
+	LRU Policy = iota
+	// FIFO evicts the oldest fill regardless of hits.
+	FIFO
+	// Random evicts a pseudo-random way (seeded, deterministic).
+	Random
+)
+
+// String names the policy for config dumps.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "Random"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config describes one cache level.
+type Config struct {
+	// Name labels the level in stats dumps ("L1d", "L2", "LLC").
+	Name string
+	// Size is the capacity in bytes.
+	Size int
+	// Ways is the associativity.
+	Ways int
+	// Latency is the access latency in cycles charged per probe of
+	// this level.
+	Latency int
+	// Policy is the replacement policy (default LRU).
+	Policy Policy
+	// Slices splits the cache into address-hashed slices (Sec. 6.4
+	// models a sliced LLC). Zero or one means unsliced.
+	Slices int
+	// SliceHash maps a line address to a slice in [0, Slices). Only
+	// used when Slices > 1; defaults to XOR-folding the line index.
+	SliceHash func(memp.Addr) int
+	// Seed feeds the Random policy so experiments stay reproducible.
+	Seed int64
+}
+
+type line struct {
+	valid  bool
+	dirty  bool
+	pinned bool
+	addr   memp.Addr // line-aligned address (the "tag", stored whole)
+	stamp  uint64    // policy metadata: LRU last-touch / FIFO fill time
+}
+
+// Stats counts the activity of one cache level.
+type Stats struct {
+	Accesses    uint64 // probes of this level (demand, from the program)
+	Hits        uint64
+	Misses      uint64
+	Fills       uint64
+	Evictions   uint64
+	Writebacks  uint64 // dirty evictions pushed toward memory
+	Prefetches  uint64 // fills injected by the prefetcher
+	Invalidates uint64 // explicit flush/invalidate operations
+}
+
+// Cache is one set-associative level.
+type Cache struct {
+	cfg        Config
+	sets       int // total sets across all slices
+	setsPerSlc int
+	lines      []line // sets*ways, set-major
+	clock      uint64 // monotonic stamp source for LRU/FIFO
+	rng        *rand.Rand
+	pinnedAll  uint64 // count of pinned lines (PLcache comparison)
+
+	// SliceTraffic counts per-slice demand accesses when sliced.
+	SliceTraffic []uint64
+
+	Stats Stats
+}
+
+// NewCache builds a cache from cfg, validating the geometry.
+func NewCache(cfg Config) *Cache {
+	if cfg.Size <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %s: invalid size/ways %d/%d", cfg.Name, cfg.Size, cfg.Ways))
+	}
+	nlines := cfg.Size / memp.LineSize
+	if nlines%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cache %s: %d lines not divisible by %d ways", cfg.Name, nlines, cfg.Ways))
+	}
+	sets := nlines / cfg.Ways
+	if cfg.Slices > 1 {
+		if sets%cfg.Slices != 0 {
+			panic(fmt.Sprintf("cache %s: %d sets not divisible by %d slices", cfg.Name, sets, cfg.Slices))
+		}
+		if cfg.SliceHash == nil {
+			n := cfg.Slices
+			cfg.SliceHash = func(a memp.Addr) int {
+				x := a.LineIndex()
+				return int((x ^ (x >> 7) ^ (x >> 13)) % uint64(n))
+			}
+		}
+	}
+	c := &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		lines: make([]line, sets*cfg.Ways),
+		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	if cfg.Slices > 1 {
+		c.setsPerSlc = sets / cfg.Slices
+		c.SliceTraffic = make([]uint64, cfg.Slices)
+	} else {
+		c.setsPerSlc = sets
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets (across slices).
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+// Latency returns the per-probe latency in cycles.
+func (c *Cache) Latency() int { return c.cfg.Latency }
+
+// SetOf returns the set index a line address maps to; exported so that
+// attackers can build eviction sets and telemetry can label counters.
+func (c *Cache) SetOf(a memp.Addr) int {
+	li := a.LineIndex()
+	if c.cfg.Slices > 1 {
+		slc := c.cfg.SliceHash(a.Line())
+		return slc*c.setsPerSlc + int(li%uint64(c.setsPerSlc))
+	}
+	return int(li % uint64(c.sets))
+}
+
+// SliceOf returns the slice a line address maps to (0 when unsliced).
+func (c *Cache) SliceOf(a memp.Addr) int {
+	if c.cfg.Slices > 1 {
+		return c.cfg.SliceHash(a.Line())
+	}
+	return 0
+}
+
+func (c *Cache) set(idx int) []line {
+	return c.lines[idx*c.cfg.Ways : (idx+1)*c.cfg.Ways]
+}
+
+func (c *Cache) find(a memp.Addr) (int, int) {
+	la := a.Line()
+	s := c.SetOf(la)
+	ways := c.set(s)
+	for w := range ways {
+		if ways[w].valid && ways[w].addr == la {
+			return s, w
+		}
+	}
+	return s, -1
+}
+
+// Lookup reports, without any side effects, whether the line holding a
+// is present and whether it is dirty. This is the pure tag check used by
+// tests and by the BIA subset-of-truth invariant checker.
+func (c *Cache) Lookup(a memp.Addr) (present, dirty bool) {
+	_, w := c.find(a)
+	if w < 0 {
+		return false, false
+	}
+	ln := &c.set(c.SetOf(a.Line()))[w]
+	return true, ln.dirty
+}
+
+// touch updates replacement metadata for a hit according to the policy.
+func (c *Cache) touch(s, w int) {
+	switch c.cfg.Policy {
+	case LRU:
+		c.clock++
+		c.set(s)[w].stamp = c.clock
+	case FIFO, Random:
+		// no hit update
+	}
+}
+
+// victim picks the way to evict in set s. Pinned lines are never chosen;
+// if every way is pinned, victim returns -1 (the fill is dropped, which
+// models PLcache's "no free way" behaviour).
+func (c *Cache) victim(s int) int {
+	ways := c.set(s)
+	// Prefer an invalid way.
+	for w := range ways {
+		if !ways[w].valid && !ways[w].pinned {
+			return w
+		}
+	}
+	switch c.cfg.Policy {
+	case Random:
+		// Try a bounded number of draws to respect pins, then scan.
+		for i := 0; i < 2*len(ways); i++ {
+			w := c.rng.Intn(len(ways))
+			if !ways[w].pinned {
+				return w
+			}
+		}
+		fallthrough
+	default: // LRU and FIFO: oldest stamp among unpinned
+		best, bestStamp := -1, ^uint64(0)
+		for w := range ways {
+			if ways[w].pinned {
+				continue
+			}
+			if ways[w].stamp <= bestStamp {
+				best, bestStamp = w, ways[w].stamp
+			}
+		}
+		return best
+	}
+}
+
+// ValidCount returns how many lines are valid in set s (test invariant).
+func (c *Cache) ValidCount(s int) int {
+	n := 0
+	for _, ln := range c.set(s) {
+		if ln.valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Contents returns the line addresses currently valid in set s, for
+// tests and debugging.
+func (c *Cache) Contents(s int) []memp.Addr {
+	var out []memp.Addr
+	for _, ln := range c.set(s) {
+		if ln.valid {
+			out = append(out, ln.addr)
+		}
+	}
+	return out
+}
+
+// DirtyLines returns all valid+dirty line addresses, for invariant checks.
+func (c *Cache) DirtyLines() []memp.Addr {
+	var out []memp.Addr
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			out = append(out, c.lines[i].addr)
+		}
+	}
+	return out
+}
+
+// Pin marks the line holding a (if present) as unevictable, modelling
+// PLcache-style locking for the Sec. 6.1 comparison. Reports success.
+func (c *Cache) Pin(a memp.Addr) bool {
+	s, w := c.find(a)
+	if w < 0 {
+		return false
+	}
+	ln := &c.set(s)[w]
+	if !ln.pinned {
+		ln.pinned = true
+		c.pinnedAll++
+	}
+	return true
+}
+
+// Unpin releases a pinned line. Reports whether the line was present.
+func (c *Cache) Unpin(a memp.Addr) bool {
+	s, w := c.find(a)
+	if w < 0 {
+		return false
+	}
+	ln := &c.set(s)[w]
+	if ln.pinned {
+		ln.pinned = false
+		c.pinnedAll--
+	}
+	return true
+}
+
+// PinnedLines returns the number of currently pinned lines.
+func (c *Cache) PinnedLines() uint64 { return c.pinnedAll }
+
+// ResetStats zeroes the counters without touching cache contents, so a
+// warmup phase can be excluded from measurement.
+func (c *Cache) ResetStats() { c.Stats = Stats{} }

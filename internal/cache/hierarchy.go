@@ -1,0 +1,403 @@
+package cache
+
+import (
+	"fmt"
+
+	"ctbia/internal/memp"
+)
+
+// Flags modify how an access traverses the hierarchy.
+type Flags uint32
+
+// Access flags.
+const (
+	// FlagWrite makes the access a store (write-allocate, write-back).
+	FlagWrite Flags = 1 << iota
+	// FlagNoLRU suppresses replacement-metadata updates on hits. The
+	// paper uses this for secret-relevant touches so the replacement
+	// state cannot leak ("not updating replacement bit (LRU bit) if
+	// the access is secret-relevant", Sec. 3.2).
+	FlagNoLRU
+	// FlagUncached bypasses every cache level and goes straight to
+	// DRAM without perturbing any cache state — the Sec. 6.5
+	// granularity optimization's "directly load from DRAM" path.
+	FlagUncached
+	// FlagPrefetch marks fills injected by the prefetcher (stats only).
+	FlagPrefetch
+)
+
+// Result describes a completed access.
+type Result struct {
+	// Cycles is the total latency charged.
+	Cycles int
+	// HitLevel is the 1-based level that supplied the line, or 0 for
+	// DRAM (including uncached accesses).
+	HitLevel int
+}
+
+// HierStats aggregates hierarchy-wide counters.
+type HierStats struct {
+	DRAMReads  uint64 // demand misses served by DRAM + uncached reads
+	DRAMWrites uint64 // writebacks reaching DRAM + uncached writes
+}
+
+// DRAMAccesses is reads plus writes — the paper's "number of accesses
+// to DRAM" metric in Fig. 8.
+func (s HierStats) DRAMAccesses() uint64 { return s.DRAMReads + s.DRAMWrites }
+
+// Hierarchy is a write-back, write-allocate multi-level cache in front
+// of DRAM. Level 1 is the L1d. By default the hierarchy is
+// non-inclusive (fills propagate everywhere, evictions at one level
+// leave other levels alone); setting Inclusive enforces inclusion by
+// back-invalidating the inner levels whenever an outer level evicts a
+// line — the property that gives a cross-core attacker sharing only the
+// LLC eviction power over the victim's private caches. The paper's
+// threat model covers both ("caches can be inclusive, non-inclusive, or
+// exclusive, and inclusivity does not influence the effectiveness of
+// our work" — a claim the test suite checks).
+type Hierarchy struct {
+	levels      []*Cache
+	dramLatency int
+	listeners   []Listener
+
+	// PrefetchNextLine enables a simple next-line prefetcher: every
+	// demand fill from DRAM also installs the following line, clean.
+	// Default off; used by the Fig. 6(d) interference scenarios.
+	PrefetchNextLine bool
+
+	// Inclusive enforces inclusion via back-invalidation (see above).
+	Inclusive bool
+
+	Stats HierStats
+}
+
+// NewHierarchy builds a hierarchy from innermost to outermost level.
+func NewHierarchy(dramLatency int, cfgs ...Config) *Hierarchy {
+	if len(cfgs) == 0 {
+		panic("cache: hierarchy needs at least one level")
+	}
+	h := &Hierarchy{dramLatency: dramLatency}
+	for _, cfg := range cfgs {
+		h.levels = append(h.levels, NewCache(cfg))
+	}
+	return h
+}
+
+// Levels returns the number of cache levels.
+func (h *Hierarchy) Levels() int { return len(h.levels) }
+
+// Level returns the 1-based cache level.
+func (h *Hierarchy) Level(i int) *Cache {
+	if i < 1 || i > len(h.levels) {
+		panic(fmt.Sprintf("cache: level %d out of range 1..%d", i, len(h.levels)))
+	}
+	return h.levels[i-1]
+}
+
+// LLC returns the outermost cache level.
+func (h *Hierarchy) LLC() *Cache { return h.levels[len(h.levels)-1] }
+
+// DRAMLatency returns the miss-to-memory latency in cycles.
+func (h *Hierarchy) DRAMLatency() int { return h.dramLatency }
+
+// Subscribe registers a listener for cache events.
+func (h *Hierarchy) Subscribe(l Listener) { h.listeners = append(h.listeners, l) }
+
+// ResetStats zeroes all per-level and hierarchy counters, leaving cache
+// contents (and listeners) alone.
+func (h *Hierarchy) ResetStats() {
+	for _, c := range h.levels {
+		c.ResetStats()
+	}
+	h.Stats = HierStats{}
+}
+
+func (h *Hierarchy) emit(ev Event) {
+	for _, l := range h.listeners {
+		l.CacheEvent(ev)
+	}
+}
+
+// Access performs a demand load or store starting at L1.
+func (h *Hierarchy) Access(addr memp.Addr, flags Flags) Result {
+	return h.AccessFrom(1, addr, flags)
+}
+
+// AccessFrom performs a demand access that bypasses the levels above
+// start (1-based). BIA-in-L2/LLC configurations use this: the paper's
+// CTLoad/CTStore and the follow-up DS accesses "bypass the L1 cache ...
+// for security" when the BIA lives lower in the hierarchy.
+func (h *Hierarchy) AccessFrom(start int, addr memp.Addr, flags Flags) Result {
+	if flags&FlagUncached != 0 {
+		if flags&FlagWrite != 0 {
+			h.Stats.DRAMWrites++
+		} else {
+			h.Stats.DRAMReads++
+		}
+		return Result{Cycles: h.dramLatency, HitLevel: 0}
+	}
+	write := flags&FlagWrite != 0
+	la := addr.Line()
+	cycles := 0
+	hitLevel := 0
+	for i := start; i <= len(h.levels); i++ {
+		c := h.levels[i-1]
+		cycles += c.cfg.Latency
+		c.Stats.Accesses++
+		set := c.SetOf(la)
+		if c.SliceTraffic != nil {
+			c.SliceTraffic[c.SliceOf(la)]++
+		}
+		h.emit(Event{Level: i, Kind: EvAccess, Line: la, Set: set, Write: write})
+		if s, w := c.find(la); w >= 0 {
+			ln := &c.set(s)[w]
+			c.Stats.Hits++
+			if flags&FlagNoLRU == 0 {
+				c.touch(s, w)
+			}
+			h.emit(Event{Level: i, Kind: EvHit, Line: la, Set: s, Dirty: ln.dirty})
+			if write && !ln.dirty {
+				ln.dirty = true
+				h.emit(Event{Level: i, Kind: EvDirty, Line: la, Set: s})
+			}
+			hitLevel = i
+			// Fill the bypass-free upper levels so subsequent
+			// accesses hit closer to the core.
+			h.fillRange(start, i-1, la, write, flags)
+			return Result{Cycles: cycles, HitLevel: hitLevel}
+		}
+		c.Stats.Misses++
+	}
+	// Missed everywhere: DRAM supplies the line.
+	cycles += h.dramLatency
+	h.Stats.DRAMReads++
+	h.fillRange(start, len(h.levels), la, write, flags)
+	h.maybePrefetch(la)
+	return Result{Cycles: cycles, HitLevel: 0}
+}
+
+// fillRange installs la into levels start..end (1-based, inclusive).
+// The innermost filled level carries the dirty bit for stores
+// (write-allocate + write-back).
+func (h *Hierarchy) fillRange(start, end int, la memp.Addr, write bool, flags Flags) {
+	for i := end; i >= start; i-- {
+		dirtyHere := write && i == start
+		h.fillLevel(i, la, dirtyHere, flags)
+	}
+}
+
+// fillLevel installs la at level i, evicting a victim if needed.
+func (h *Hierarchy) fillLevel(i int, la memp.Addr, dirty bool, flags Flags) {
+	c := h.levels[i-1]
+	s := c.SetOf(la)
+	// Already present (possible when filling upward after a lower hit,
+	// or when the prefetcher races a demand fill): just update dirty.
+	if _, w := c.find(la); w >= 0 {
+		ln := &c.set(s)[w]
+		if dirty && !ln.dirty {
+			ln.dirty = true
+			h.emit(Event{Level: i, Kind: EvDirty, Line: la, Set: s})
+		}
+		return
+	}
+	w := c.victim(s)
+	if w < 0 {
+		// Every way pinned (PLcache scenario): drop the fill.
+		return
+	}
+	ln := &c.set(s)[w]
+	if ln.valid {
+		h.evictLine(i, c, s, ln)
+	}
+	ln.valid = true
+	ln.dirty = dirty
+	ln.addr = la
+	c.clock++
+	ln.stamp = c.clock
+	c.Stats.Fills++
+	if flags&FlagPrefetch != 0 {
+		c.Stats.Prefetches++
+	}
+	h.emit(Event{Level: i, Kind: EvFill, Line: la, Set: s})
+	if dirty {
+		h.emit(Event{Level: i, Kind: EvDirty, Line: la, Set: s})
+	}
+}
+
+// evictLine removes a victim from level i, writing it back toward
+// memory if dirty. Writebacks land in the next level that already holds
+// the line (its copy turns dirty); otherwise they count as DRAM writes.
+// In inclusive mode the inner levels are back-invalidated first, so
+// their dirty data drains into this level's copy before it leaves.
+func (h *Hierarchy) evictLine(i int, c *Cache, s int, ln *line) {
+	if h.Inclusive && i > 1 {
+		h.backInvalidate(i, ln.addr)
+	}
+	c.Stats.Evictions++
+	h.emit(Event{Level: i, Kind: EvEvict, Line: ln.addr, Set: s, Dirty: ln.dirty})
+	if ln.dirty {
+		c.Stats.Writebacks++
+		h.writeback(i+1, ln.addr)
+	}
+	ln.valid = false
+	ln.dirty = false
+	ln.pinned = false
+}
+
+// backInvalidate removes la from every level inside outer, draining
+// dirty copies into outer's (still-present) copy.
+func (h *Hierarchy) backInvalidate(outer int, la memp.Addr) {
+	for i := outer - 1; i >= 1; i-- {
+		c := h.levels[i-1]
+		if s, w := c.find(la); w >= 0 {
+			ln := &c.set(s)[w]
+			c.Stats.Invalidates++
+			c.Stats.Evictions++
+			h.emit(Event{Level: i, Kind: EvEvict, Line: la, Set: s, Dirty: ln.dirty})
+			if ln.dirty {
+				c.Stats.Writebacks++
+				h.writeback(i+1, la)
+			}
+			ln.valid = false
+			ln.dirty = false
+			ln.pinned = false
+		}
+	}
+}
+
+// writeback pushes a dirty line from level from-1 toward memory.
+func (h *Hierarchy) writeback(from int, la memp.Addr) {
+	for i := from; i <= len(h.levels); i++ {
+		c := h.levels[i-1]
+		if s, w := c.find(la); w >= 0 {
+			ln := &c.set(s)[w]
+			if !ln.dirty {
+				ln.dirty = true
+				h.emit(Event{Level: i, Kind: EvDirty, Line: la, Set: s})
+			}
+			return
+		}
+	}
+	h.Stats.DRAMWrites++
+}
+
+// CTProbeLoad implements the cache side of the paper's CTLoad at the
+// given level: a tag check that, on hit, reads the line WITHOUT updating
+// replacement state, and on miss does NOT forward the request or
+// allocate ("the new instruction does not forward misses to the next
+// level in the cache hierarchy or to the main memory, for security").
+// The hit signal still reaches snoopers (the BIA learns existence and
+// the current dirty bit). Latency is one probe of that level.
+func (h *Hierarchy) CTProbeLoad(level int, addr memp.Addr) (hit bool, cycles int) {
+	c := h.Level(level)
+	la := addr.Line()
+	c.Stats.Accesses++
+	set := c.SetOf(la)
+	if c.SliceTraffic != nil {
+		c.SliceTraffic[c.SliceOf(la)]++
+	}
+	h.emit(Event{Level: level, Kind: EvAccess, Line: la, Set: set, Probe: true})
+	if s, w := c.find(la); w >= 0 {
+		ln := &c.set(s)[w]
+		c.Stats.Hits++
+		h.emit(Event{Level: level, Kind: EvHit, Line: la, Set: s, Dirty: ln.dirty, Probe: true})
+		return true, c.cfg.Latency
+	}
+	c.Stats.Misses++
+	return false, c.cfg.Latency
+}
+
+// CTProbeStore implements the cache side of the paper's CTStore at the
+// given level: the write is applied only if the line is present AND
+// already dirty; otherwise DO NOTHING. Either way no line is allocated,
+// no replacement state changes, and no request is forwarded. The caller
+// performs the data write iff wrote is true.
+func (h *Hierarchy) CTProbeStore(level int, addr memp.Addr) (wrote bool, cycles int) {
+	c := h.Level(level)
+	la := addr.Line()
+	c.Stats.Accesses++
+	set := c.SetOf(la)
+	if c.SliceTraffic != nil {
+		c.SliceTraffic[c.SliceOf(la)]++
+	}
+	h.emit(Event{Level: level, Kind: EvAccess, Line: la, Set: set, Write: true, Probe: true})
+	if s, w := c.find(la); w >= 0 {
+		ln := &c.set(s)[w]
+		c.Stats.Hits++
+		h.emit(Event{Level: level, Kind: EvHit, Line: la, Set: s, Dirty: ln.dirty, Probe: true})
+		// Line stays dirty; no EvDirty because there is no 0->1 edge.
+		return ln.dirty, c.cfg.Latency
+	}
+	c.Stats.Misses++
+	return false, c.cfg.Latency
+}
+
+// Flush invalidates the line holding addr at every level, writing back
+// dirty copies (clflush semantics). Attackers and tests use it.
+func (h *Hierarchy) Flush(addr memp.Addr) {
+	la := addr.Line()
+	for i := len(h.levels); i >= 1; i-- {
+		c := h.levels[i-1]
+		if s, w := c.find(la); w >= 0 {
+			c.Stats.Invalidates++
+			h.evictLine(i, c, s, &c.set(s)[w])
+		}
+	}
+}
+
+// PrefetchLine installs la clean at every level without counting as a
+// demand access; models a hardware prefetcher bringing a line in
+// (Fig. 6(d): "that line should not be dirty in the cache").
+func (h *Hierarchy) PrefetchLine(addr memp.Addr) {
+	la := addr.Line()
+	h.fillRange(1, len(h.levels), la, false, FlagPrefetch)
+}
+
+// maybePrefetch is called after a demand DRAM fill when the next-line
+// prefetcher is on.
+func (h *Hierarchy) maybePrefetch(la memp.Addr) {
+	if h.PrefetchNextLine {
+		h.PrefetchLine(la + memp.LineSize)
+	}
+}
+
+// Snapshot captures the full metadata state of one level, so tests can
+// assert that CT probes have zero side effects.
+type Snapshot struct {
+	Lines []SnapshotLine
+}
+
+// SnapshotLine is one valid line in a Snapshot.
+type SnapshotLine struct {
+	Set   int
+	Addr  memp.Addr
+	Dirty bool
+	Stamp uint64
+}
+
+// SnapshotLevel captures level i's state.
+func (h *Hierarchy) SnapshotLevel(i int) Snapshot {
+	c := h.Level(i)
+	var snap Snapshot
+	for s := 0; s < c.sets; s++ {
+		for _, ln := range c.set(s) {
+			if ln.valid {
+				snap.Lines = append(snap.Lines, SnapshotLine{Set: s, Addr: ln.addr, Dirty: ln.dirty, Stamp: ln.stamp})
+			}
+		}
+	}
+	return snap
+}
+
+// Equal reports whether two snapshots are identical.
+func (s Snapshot) Equal(o Snapshot) bool {
+	if len(s.Lines) != len(o.Lines) {
+		return false
+	}
+	for i := range s.Lines {
+		if s.Lines[i] != o.Lines[i] {
+			return false
+		}
+	}
+	return true
+}

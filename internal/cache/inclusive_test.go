@@ -1,0 +1,131 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"ctbia/internal/memp"
+)
+
+// tinyInclusive mirrors tiny() with inclusion enforced.
+func tinyInclusive() *Hierarchy {
+	h := tiny()
+	h.Inclusive = true
+	return h
+}
+
+func TestBackInvalidationOnOuterEviction(t *testing.T) {
+	h := tinyInclusive()
+	c2 := h.Level(2) // 8 sets x 4 ways
+	a := memp.Addr(0x40000)
+	h.Access(a, 0) // fills L1 and L2
+	if p, _ := h.Level(1).Lookup(a); !p {
+		t.Fatal("precondition: line in L1")
+	}
+	// Evict a from L2 with conflicting lines in its L2 set.
+	s2 := c2.SetOf(a)
+	for k := 1; k <= 4; k++ {
+		h.AccessFrom(2, addrForSet(c2, s2, k), 0)
+	}
+	if p, _ := c2.Lookup(a); p {
+		t.Fatal("line should be evicted from L2")
+	}
+	if p, _ := h.Level(1).Lookup(a); p {
+		t.Fatal("inclusive eviction must back-invalidate the L1 copy")
+	}
+}
+
+func TestBackInvalidationDrainsDirtyData(t *testing.T) {
+	h := tinyInclusive()
+	c2 := h.Level(2)
+	a := memp.Addr(0x40000)
+	h.Access(a, FlagWrite) // dirty in L1, clean in L2
+	s2 := c2.SetOf(a)
+	for k := 1; k <= 4; k++ {
+		h.AccessFrom(2, addrForSet(c2, s2, k), 0)
+	}
+	// The dirty L1 copy drained into the L2 copy before it left, so
+	// the data reached DRAM (one write), not the void.
+	if h.Stats.DRAMWrites != 1 {
+		t.Fatalf("DRAMWrites = %d, want 1 (dirty data must survive back-invalidation)", h.Stats.DRAMWrites)
+	}
+}
+
+func TestNonInclusiveLeavesInnerCopies(t *testing.T) {
+	h := tiny() // non-inclusive default
+	c2 := h.Level(2)
+	a := memp.Addr(0x40000)
+	h.Access(a, 0)
+	s2 := c2.SetOf(a)
+	for k := 1; k <= 4; k++ {
+		h.AccessFrom(2, addrForSet(c2, s2, k), 0)
+	}
+	if p, _ := h.Level(1).Lookup(a); !p {
+		t.Fatal("non-inclusive eviction must leave the L1 copy alone")
+	}
+}
+
+func TestInclusiveEventStreamReportsBackInvalidations(t *testing.T) {
+	h := tinyInclusive()
+	var evicts []Event
+	h.Subscribe(ListenerFunc(func(ev Event) {
+		if ev.Kind == EvEvict {
+			evicts = append(evicts, ev)
+		}
+	}))
+	c2 := h.Level(2)
+	a := memp.Addr(0x40000)
+	h.Access(a, 0)
+	s2 := c2.SetOf(a)
+	for k := 1; k <= 4; k++ {
+		h.AccessFrom(2, addrForSet(c2, s2, k), 0)
+	}
+	sawL1, sawL2 := false, false
+	for _, ev := range evicts {
+		if ev.Line == a && ev.Level == 1 {
+			sawL1 = true
+		}
+		if ev.Line == a && ev.Level == 2 {
+			sawL2 = true
+		}
+	}
+	if !sawL1 || !sawL2 {
+		t.Fatalf("expected evict events at both levels (L1=%v L2=%v)", sawL1, sawL2)
+	}
+}
+
+func TestInclusionInvariantProperty(t *testing.T) {
+	// After arbitrary traffic on an inclusive hierarchy, every valid L1
+	// line must also be valid at L2 (the inclusion property).
+	h := tinyInclusive()
+	rng := rand.New(rand.NewSource(17))
+	lines := make([]memp.Addr, 128)
+	for i := range lines {
+		lines[i] = memp.Addr(uint64(i) << memp.LineShift)
+	}
+	for step := 0; step < 5000; step++ {
+		a := lines[rng.Intn(len(lines))]
+		switch rng.Intn(4) {
+		case 0:
+			h.Access(a, FlagWrite)
+		case 1:
+			h.Flush(a)
+		case 2:
+			h.AccessFrom(2, a, 0)
+		default:
+			h.Access(a, 0)
+		}
+		if step%200 == 0 {
+			for _, la := range lines {
+				if p1, _ := h.Level(1).Lookup(la); p1 {
+					if p2, _ := h.Level(2).Lookup(la); !p2 {
+						t.Fatalf("step %d: inclusion violated for %v", step, la)
+					}
+				}
+			}
+		}
+	}
+	// Conservation: every dirty write eventually lands in DRAM.
+	totalDirty := len(h.Level(1).DirtyLines()) + len(h.Level(2).DirtyLines())
+	_ = totalDirty // sanity only; exact accounting covered elsewhere
+}

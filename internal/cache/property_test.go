@@ -1,0 +1,198 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ctbia/internal/memp"
+)
+
+// shadow is a reference model of the hierarchy's observable state: the
+// set of (level, line) pairs expected to be present. It is rebuilt from
+// the event stream and compared against the real tag arrays, so the
+// event bus is proven to faithfully narrate cache state — the property
+// the BIA's correctness rests on.
+type shadow struct {
+	present map[[2]uint64]bool
+}
+
+func newShadow() *shadow { return &shadow{present: make(map[[2]uint64]bool)} }
+
+func (s *shadow) CacheEvent(ev Event) {
+	key := [2]uint64{uint64(ev.Level), uint64(ev.Line)}
+	switch ev.Kind {
+	case EvFill:
+		s.present[key] = true
+	case EvEvict:
+		delete(s.present, key)
+	}
+}
+
+func TestEventStreamMatchesTagState(t *testing.T) {
+	h := tiny()
+	sh := newShadow()
+	h.Subscribe(sh)
+	rng := rand.New(rand.NewSource(42))
+	lines := make([]memp.Addr, 64)
+	for i := range lines {
+		lines[i] = memp.Addr(uint64(i) << memp.LineShift)
+	}
+	for step := 0; step < 5000; step++ {
+		a := lines[rng.Intn(len(lines))]
+		var f Flags
+		switch rng.Intn(5) {
+		case 0:
+			f = FlagWrite
+		case 1:
+			h.Flush(a)
+			continue
+		case 2:
+			h.CTProbeLoad(1+rng.Intn(2), a)
+			continue
+		}
+		h.Access(a, f)
+	}
+	// Compare shadow against the true tag arrays.
+	for lvl := 1; lvl <= h.Levels(); lvl++ {
+		c := h.Level(lvl)
+		for _, a := range lines {
+			p, _ := c.Lookup(a)
+			if sh.present[[2]uint64{uint64(lvl), uint64(a)}] != p {
+				t.Fatalf("shadow disagrees with L%d tags for %v (shadow=%v, cache=%v)",
+					lvl, a, !p, p)
+			}
+		}
+	}
+}
+
+func TestSetOccupancyNeverExceedsWays(t *testing.T) {
+	h := tiny()
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 3000; step++ {
+		h.Access(memp.Addr(rng.Intn(1<<16))&^memp.LineMask, Flags(rng.Intn(2)))
+		if step%100 == 0 {
+			for lvl := 1; lvl <= 2; lvl++ {
+				c := h.Level(lvl)
+				for s := 0; s < c.Sets(); s++ {
+					if n := c.ValidCount(s); n > c.Ways() {
+						t.Fatalf("L%d set %d holds %d lines > %d ways", lvl, s, n, c.Ways())
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDirtyImpliesValidProperty(t *testing.T) {
+	// After any access sequence, every dirty line reported must also be
+	// a present line (dirty ⇒ valid), at every level.
+	f := func(seed int64, ops []uint16) bool {
+		h := tiny()
+		for _, op := range ops {
+			a := memp.Addr(uint64(op)&0x3ff) << memp.LineShift
+			flags := Flags(0)
+			if op&0x8000 != 0 {
+				flags = FlagWrite
+			}
+			if op&0x4000 != 0 {
+				h.Flush(a)
+			} else {
+				h.Access(a, flags)
+			}
+		}
+		for lvl := 1; lvl <= h.Levels(); lvl++ {
+			for _, la := range h.Level(lvl).DirtyLines() {
+				if p, _ := h.Level(lvl).Lookup(la); !p {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHitAfterAccessProperty(t *testing.T) {
+	// Immediately re-accessing any address must hit at L1 with L1
+	// latency — the basic cache contract.
+	f := func(raw uint32) bool {
+		h := tiny()
+		a := memp.Addr(raw)
+		h.Access(a, 0)
+		r := h.Access(a, 0)
+		return r.HitLevel == 1 && r.Cycles == h.Level(1).Latency()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCTProbesHaveNoSideEffectsProperty(t *testing.T) {
+	// Any number of CT probes over any addresses leaves every level's
+	// full metadata (including stamps) untouched.
+	f := func(seed int64, probes []uint16) bool {
+		h := tiny()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200; i++ { // warm with arbitrary traffic
+			h.Access(memp.Addr(rng.Intn(1<<14))&^memp.LineMask, Flags(rng.Intn(2)))
+		}
+		before1 := h.SnapshotLevel(1)
+		before2 := h.SnapshotLevel(2)
+		for _, p := range probes {
+			a := memp.Addr(uint64(p) << memp.LineShift)
+			if p&1 == 0 {
+				h.CTProbeLoad(1, a)
+			} else {
+				h.CTProbeStore(1, a)
+			}
+		}
+		return h.SnapshotLevel(1).Equal(before1) && h.SnapshotLevel(2).Equal(before2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWritebackChainNeverLosesDirtyData(t *testing.T) {
+	// Pound one set with writes; at the end, every line that was ever
+	// written is either dirty somewhere in the hierarchy or was written
+	// back to DRAM. We check conservation: dirty-evictions from the LLC
+	// equal DRAM writes.
+	h := tiny()
+	rng := rand.New(rand.NewSource(99))
+	for step := 0; step < 4000; step++ {
+		a := memp.Addr(uint64(rng.Intn(256)) << memp.LineShift)
+		h.Access(a, FlagWrite)
+	}
+	llc := h.LLC()
+	if llc.Stats.Writebacks != h.Stats.DRAMWrites {
+		t.Fatalf("LLC writebacks %d != DRAM writes %d",
+			llc.Stats.Writebacks, h.Stats.DRAMWrites)
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	h := tiny()
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 2000; step++ {
+		h.Access(memp.Addr(rng.Intn(1<<15))&^memp.LineMask, Flags(rng.Intn(2)))
+	}
+	for lvl := 1; lvl <= 2; lvl++ {
+		s := h.Level(lvl).Stats
+		if s.Hits+s.Misses != s.Accesses {
+			t.Fatalf("L%d: hits %d + misses %d != accesses %d", lvl, s.Hits, s.Misses, s.Accesses)
+		}
+	}
+	// Every L1 miss probes L2.
+	if h.Level(1).Stats.Misses != h.Level(2).Stats.Accesses {
+		t.Fatalf("L1 misses %d != L2 accesses %d",
+			h.Level(1).Stats.Misses, h.Level(2).Stats.Accesses)
+	}
+	// Every L2 miss reads DRAM.
+	if h.Level(2).Stats.Misses != h.Stats.DRAMReads {
+		t.Fatalf("L2 misses %d != DRAM reads %d", h.Level(2).Stats.Misses, h.Stats.DRAMReads)
+	}
+}

@@ -1,0 +1,269 @@
+package cpu
+
+import (
+	"testing"
+
+	"ctbia/internal/bia"
+	"ctbia/internal/cache"
+	"ctbia/internal/memp"
+)
+
+// smallConfig is a fast two-level machine with an L1-resident BIA.
+func smallConfig() Config {
+	return Config{
+		Levels: []cache.Config{
+			{Name: "L1d", Size: 4096, Ways: 2, Latency: 2},
+			{Name: "L2", Size: 32768, Ways: 4, Latency: 15},
+		},
+		DRAMLatency: 100,
+		BIA:         bia.Config{Entries: 16, Ways: 4, Latency: 1},
+		BIALevel:    1,
+	}
+}
+
+func TestDefaultConfigMatchesTable1(t *testing.T) {
+	cfg := DefaultConfig()
+	if n := len(cfg.Levels); n != 3 {
+		t.Fatalf("levels = %d", n)
+	}
+	if cfg.Levels[0].Size != 64<<10 || cfg.Levels[0].Latency != 2 {
+		t.Fatalf("L1d = %+v", cfg.Levels[0])
+	}
+	if cfg.Levels[1].Size != 1<<20 || cfg.Levels[1].Latency != 15 {
+		t.Fatalf("L2 = %+v", cfg.Levels[1])
+	}
+	if cfg.Levels[2].Size != 16<<20 || cfg.Levels[2].Latency != 41 {
+		t.Fatalf("LLC = %+v", cfg.Levels[2])
+	}
+	// Fig. 10 shows per-set counts over 2048 sets: the L2 geometry.
+	m := New(cfg)
+	if got := m.Hier.Level(2).Sets(); got != 2048 {
+		t.Fatalf("L2 sets = %d, want 2048", got)
+	}
+}
+
+func TestOpAccounting(t *testing.T) {
+	m := New(smallConfig())
+	m.Op(5)
+	if m.C.Cycles != 5 || m.C.Insts != 5 || m.C.L1IRefs != 5 {
+		t.Fatalf("counters = %+v", m.C)
+	}
+}
+
+func TestLoadStoreRoundTripAndTiming(t *testing.T) {
+	m := New(smallConfig())
+	a := m.Alloc.Alloc("x", 64).Base
+	m.Store64(a, 0xfeed)
+	if got := m.Load64(a); got != 0xfeed {
+		t.Fatalf("Load64 = %#x", got)
+	}
+	// store: cold miss = 2+15+100; load: L1 hit = 2.
+	if want := uint64(2 + 15 + 100 + 2); m.C.Cycles != want {
+		t.Fatalf("cycles = %d, want %d", m.C.Cycles, want)
+	}
+	if m.C.Loads != 1 || m.C.Stores != 1 || m.C.Insts != 2 {
+		t.Fatalf("counters = %+v", m.C)
+	}
+}
+
+func TestNarrowAccessors(t *testing.T) {
+	m := New(smallConfig())
+	a := m.Alloc.Alloc("x", 64).Base
+	m.Store32(a, 0xcafe1234)
+	m.Store8(a+8, 0x5a)
+	if got := m.Load32(a); got != 0xcafe1234 {
+		t.Fatalf("Load32 = %#x", got)
+	}
+	if got := m.Load8(a + 8); got != 0x5a {
+		t.Fatalf("Load8 = %#x", got)
+	}
+}
+
+func TestCTLoadHitReturnsDataMissReturnsZero(t *testing.T) {
+	m := New(smallConfig())
+	a := m.Alloc.Alloc("t", 128).Base
+	m.Store64(a, 42) // line now cached & dirty
+	data, _ := m.CTLoad64(a)
+	if data != 42 {
+		t.Fatalf("CTLoad on cached line = %d, want 42", data)
+	}
+	// A line in a different page, never touched: miss → fake zero data.
+	b := m.Alloc.Alloc("u", 64).Base
+	m.Mem.Write64(b, 99) // bytes exist in memory but NOT in cache
+	data, _ = m.CTLoad64(b)
+	if data != 0 {
+		t.Fatalf("CTLoad on uncached line = %d, want 0 (fake data)", data)
+	}
+	if m.Hier.Stats.DRAMReads != 1 { // only the Store64 cold miss
+		t.Fatalf("CTLoad must not forward misses; DRAM reads = %d", m.Hier.Stats.DRAMReads)
+	}
+}
+
+func TestCTLoadExistenceConvergence(t *testing.T) {
+	m := New(smallConfig())
+	r := m.Alloc.Alloc("t", memp.PageSize)
+	// Cache lines 0 and 3 of the page.
+	m.Load64(r.Base)
+	m.Load64(r.Base + 3*memp.LineSize)
+	// First CTLoad installs a zeroed entry: existence = 0.
+	_, exist := m.CTLoad64(r.Base)
+	if exist != 0 {
+		t.Fatalf("first CTLoad existence = %#x, want 0", exist)
+	}
+	// The probe's hit taught the BIA about line 0; normal loads teach
+	// it about anything it observes.
+	_, exist = m.CTLoad64(r.Base)
+	if exist != 1 {
+		t.Fatalf("second CTLoad existence = %#x, want 1", exist)
+	}
+	m.Load64(r.Base + 3*memp.LineSize) // hit observed by BIA
+	_, exist = m.CTLoad64(r.Base)
+	if exist != 0b1001 {
+		t.Fatalf("existence = %#b, want 0b1001", exist)
+	}
+}
+
+func TestCTStoreOnlyWritesDirtyLines(t *testing.T) {
+	m := New(smallConfig())
+	r := m.Alloc.Alloc("t", memp.PageSize)
+	dirtyA := r.Base
+	cleanA := r.Base + memp.LineSize
+	m.Store64(dirtyA, 1) // dirty
+	m.Load64(cleanA)     // clean
+
+	if d := m.CTStore64(dirtyA, 77); d == 0 {
+		// Dirtiness bitmap may lag (entry may be fresh), but the write
+		// itself is governed by the real dirty bit:
+	}
+	if got := m.Mem.Read64(dirtyA); got != 77 {
+		t.Fatalf("CTStore to dirty line: mem = %d, want 77", got)
+	}
+	m.CTStore64(cleanA, 88)
+	if got := m.Mem.Read64(cleanA); got != 0 {
+		t.Fatalf("CTStore to clean line must DO NOTHING; mem = %d", got)
+	}
+	// And to an uncached line:
+	other := m.Alloc.Alloc("u", 64).Base
+	m.CTStore64(other, 99)
+	if got := m.Mem.Read64(other); got != 0 {
+		t.Fatalf("CTStore to uncached line must DO NOTHING; mem = %d", got)
+	}
+}
+
+func TestCTOpsLatencyIsParallelMax(t *testing.T) {
+	m := New(smallConfig()) // L1 latency 2, BIA latency 1
+	a := m.Alloc.Alloc("t", 64).Base
+	m.Load64(a)
+	c0 := m.C.Cycles
+	m.CTLoad64(a)
+	if got := m.C.Cycles - c0; got != 2 {
+		t.Fatalf("CTLoad cycles = %d, want max(2,1)=2", got)
+	}
+	// With a slower BIA the BIA dominates.
+	cfg := smallConfig()
+	cfg.BIA.Latency = 9
+	m2 := New(cfg)
+	b := m2.Alloc.Alloc("t", 64).Base
+	m2.Load64(b)
+	c0 = m2.C.Cycles
+	m2.CTLoad64(b)
+	if got := m2.C.Cycles - c0; got != 9 {
+		t.Fatalf("CTLoad cycles = %d, want max(2,9)=9", got)
+	}
+}
+
+func TestCTOpsPanicWithoutBIA(t *testing.T) {
+	cfg := smallConfig()
+	cfg.BIALevel = 0
+	m := New(cfg)
+	if m.HasBIA() {
+		t.Fatal("HasBIA should be false")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CTLoad64 without BIA must panic")
+		}
+	}()
+	m.CTLoad64(0x10000)
+}
+
+func TestBypassToBIALevel(t *testing.T) {
+	cfg := smallConfig()
+	cfg.BIALevel = 2 // L2-resident BIA
+	m := New(cfg)
+	a := m.Alloc.Alloc("t", 64).Base
+
+	// CT probe goes to L2 only: L2 latency 15 (> BIA 1).
+	c0 := m.C.Cycles
+	m.CTLoad64(a)
+	if got := m.C.Cycles - c0; got != 15 {
+		t.Fatalf("L2 CTLoad cycles = %d, want 15", got)
+	}
+	if m.Hier.Level(1).Stats.Accesses != 0 {
+		t.Fatal("L2-resident CTLoad must bypass L1")
+	}
+
+	// Follow-up DS accesses with ModeBypassToBIA skip L1 too.
+	m.LoadMode64(a, ModeBypassToBIA|ModeNoLRU)
+	if m.Hier.Level(1).Stats.Accesses != 0 {
+		t.Fatal("bypass load must not touch L1")
+	}
+	if p, _ := m.Hier.Level(2).Lookup(a); !p {
+		t.Fatal("bypass load must fill L2")
+	}
+}
+
+func TestBypassModeIsNoopForL1BIA(t *testing.T) {
+	m := New(smallConfig()) // BIA in L1
+	a := m.Alloc.Alloc("t", 64).Base
+	m.LoadMode64(a, ModeBypassToBIA)
+	if m.Hier.Level(1).Stats.Accesses != 1 {
+		t.Fatal("with an L1 BIA, bypass mode accesses L1 normally")
+	}
+}
+
+func TestUncachedMode(t *testing.T) {
+	m := New(smallConfig())
+	a := m.Alloc.Alloc("t", 64).Base
+	m.StoreMode64(a, 5, ModeUncached)
+	if got := m.LoadMode64(a, ModeUncached); got != 5 {
+		t.Fatalf("uncached round trip = %d", got)
+	}
+	if p, _ := m.Hier.Level(1).Lookup(a); p {
+		t.Fatal("uncached access must not allocate")
+	}
+	if m.Hier.Stats.DRAMReads != 1 || m.Hier.Stats.DRAMWrites != 1 {
+		t.Fatalf("DRAM stats = %+v", m.Hier.Stats)
+	}
+}
+
+func TestReportCollectsAllCounters(t *testing.T) {
+	m := New(smallConfig())
+	a := m.Alloc.Alloc("t", 64).Base
+	m.Store64(a, 1)
+	m.Load64(a)
+	m.Op(3)
+	r := m.Report()
+	if r.Insts != 5 || r.L1IRefs != 5 {
+		t.Fatalf("report insts = %+v", r)
+	}
+	if r.L1DRefs != 2 {
+		t.Fatalf("L1DRefs = %d", r.L1DRefs)
+	}
+	if r.L2Refs != 1 || r.LLMisses != 1 || r.DRAM != 1 {
+		t.Fatalf("memory refs = %+v", r)
+	}
+	if r.Cycles == 0 || len(r.String()) == 0 {
+		t.Fatal("report rendering")
+	}
+}
+
+func TestNegativeOpPanics(t *testing.T) {
+	m := New(smallConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Op(-1) must panic")
+		}
+	}()
+	m.Op(-1)
+}

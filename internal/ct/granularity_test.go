@@ -1,0 +1,189 @@
+package ct
+
+import (
+	"testing"
+
+	"ctbia/internal/bia"
+	"ctbia/internal/cache"
+	"ctbia/internal/cpu"
+	"ctbia/internal/memp"
+)
+
+// Tests for the Sec. 6.4 generalized DS-management granularity
+// (M < 12): the BIA tracks 2^M-byte chunks and Algorithms 2/3 group
+// the DS by chunks instead of pages.
+
+func chunkedConfig(shift int) cpu.Config {
+	cfg := testConfig(1)
+	cfg.BIA.ChunkShift = shift
+	return cfg
+}
+
+func TestSpansAtRegroupsTheSet(t *testing.T) {
+	ds := NewContiguous("t", 0x1000, 0x1000) // one page, 64 lines
+	spans9 := ds.SpansAt(9)                  // 512-byte chunks, 8 lines each
+	if len(spans9) != 8 {
+		t.Fatalf("spans at M=9: %d, want 8", len(spans9))
+	}
+	total := 0
+	for i, sp := range spans9 {
+		if sp.Base != memp.Addr(0x1000+i*512) {
+			t.Fatalf("span %d base %v", i, sp.Base)
+		}
+		if sp.Mask != 0xff {
+			t.Fatalf("span %d mask %#x, want 0xff", i, sp.Mask)
+		}
+		total += sp.Lines()
+	}
+	if total != ds.NumLines() {
+		t.Fatalf("span lines %d != DS lines %d", total, ds.NumLines())
+	}
+	// Default granularity returns the page grouping (memoized path).
+	if len(ds.SpansAt(memp.PageShift)) != 1 {
+		t.Fatal("page-granularity spans")
+	}
+	// Memoized second call returns the same slice.
+	if &ds.SpansAt(9)[0] != &spans9[0] {
+		t.Fatal("SpansAt should memoize")
+	}
+}
+
+func TestSpansAtPartialChunks(t *testing.T) {
+	// 3 lines starting at line 6 of a 8-line chunk boundary: lines
+	// 6,7 in chunk 0 and line 8 in chunk 1 (at M=9).
+	ds := NewContiguous("t", 0x1000+6*64, 3*64)
+	spans := ds.SpansAt(9)
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Mask != 0b11000000 || spans[1].Mask != 0b1 {
+		t.Fatalf("masks = %#b %#b", spans[0].Mask, spans[1].Mask)
+	}
+}
+
+func TestSpansAtRejectsBadShift(t *testing.T) {
+	ds := NewContiguous("t", 0x1000, 256)
+	for _, shift := range []int{6, 13, 0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SpansAt(%d) should panic", shift)
+				}
+			}()
+			ds.SpansAt(shift)
+		}()
+	}
+}
+
+func TestChunkedBIAFunctionalEquivalence(t *testing.T) {
+	for _, shift := range []int{7, 9, 11} {
+		m := cpu.New(chunkedConfig(shift))
+		reg := m.Alloc.Alloc("t", memp.PageSize+512)
+		ds := FromRegion(reg)
+		n := int(reg.Size / 4)
+		for i := 0; i < n; i++ {
+			m.Mem.Write32(reg.Base+memp.Addr(4*i), uint32(i)^0xabcd)
+		}
+		s := BIA{}
+		for _, i := range []int{0, 1, 127, 128, n - 1} {
+			addr := reg.Base + memp.Addr(4*i)
+			if got := uint32(s.Load(m, ds, addr, cpu.W32)); got != m.Mem.Read32(addr) {
+				t.Fatalf("M=%d: load[%d] wrong", shift, i)
+			}
+		}
+		s.Store(m, ds, reg.Base+256, 7, cpu.W32)
+		if m.Mem.Read32(reg.Base+256) != 7 {
+			t.Fatalf("M=%d: store lost", shift)
+		}
+		if err := m.BIA.CheckSubset(m.Hier); err != nil {
+			t.Fatalf("M=%d: %v", shift, err)
+		}
+	}
+}
+
+func TestChunkedBIATraceIndependence(t *testing.T) {
+	run := func(shift, secret int) string {
+		m := cpu.New(chunkedConfig(shift))
+		rec := &traceRecorder{}
+		m.Hier.Subscribe(rec)
+		reg := m.Alloc.Alloc("t", memp.PageSize)
+		ds := FromRegion(reg)
+		for i := 0; i < 8; i++ {
+			idx := (secret + i*97) % int(reg.Size/4)
+			BIA{}.Load(m, ds, reg.Base+memp.Addr(4*idx), cpu.W32)
+		}
+		return rec.key()
+	}
+	for _, shift := range []int{8, 10} {
+		if run(shift, 3) != run(shift, 801) {
+			t.Fatalf("M=%d leaks", shift)
+		}
+	}
+}
+
+func TestChunkedBIAIssuesMoreProbes(t *testing.T) {
+	// Sec. 6.4: "there are more CT_Load and CT_Store traffic" with a
+	// finer management granularity — one probe per chunk vs per page.
+	probes := func(shift int) uint64 {
+		m := cpu.New(chunkedConfig(shift))
+		reg := m.Alloc.Alloc("t", memp.PageSize)
+		ds := FromRegion(reg)
+		BIA{}.Load(m, ds, reg.Base, cpu.W32)
+		return m.C.CTLoads
+	}
+	if p12, p9 := probes(12), probes(9); p9 != 8*p12 {
+		t.Fatalf("M=9 probes = %d, M=12 probes = %d (want 8x)", p9, p12)
+	}
+}
+
+func TestChunkedBIAWithSlicedLLC(t *testing.T) {
+	// The full Sec. 6.4 configuration: LS_Hash = 9, 4-slice LLC hashed
+	// on bit 9+, LLC-resident BIA at M = 9. Slice traffic must be
+	// identical across secrets.
+	run := func(secret int) []uint64 {
+		m, feasible := bia.LLCPlacement(9)
+		if !feasible || m != 9 {
+			t.Fatal("placement rule")
+		}
+		cfg := cpu.Config{
+			Levels: []cache.Config{
+				{Name: "L1d", Size: 8192, Ways: 2, Latency: 2},
+				{Name: "L2", Size: 32768, Ways: 4, Latency: 15},
+				{Name: "LLC", Size: 262144, Ways: 8, Latency: 41,
+					Slices:    4,
+					SliceHash: func(a memp.Addr) int { return int((uint64(a) >> 9) & 3) },
+				},
+			},
+			DRAMLatency: 150,
+			BIA:         bia.Config{Entries: 32, Ways: 4, Latency: 1, ChunkShift: m},
+			BIALevel:    3,
+		}
+		mach := cpu.New(cfg)
+		reg := mach.Alloc.Alloc("t", memp.PageSize)
+		ds := FromRegion(reg)
+		for i := 0; i < 6; i++ {
+			idx := (secret + i*31) % int(reg.Size/4)
+			BIA{}.Load(mach, ds, reg.Base+memp.Addr(4*idx), cpu.W32)
+		}
+		out := make([]uint64, 4)
+		copy(out, mach.Hier.LLC().SliceTraffic)
+		return out
+	}
+	a, b := run(11), run(777)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("slice %d traffic differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMacroOpsRejectNonPageGranularity(t *testing.T) {
+	m := cpu.New(chunkedConfig(9))
+	reg := m.Alloc.Alloc("t", 4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("macro ops must reject M != 12")
+		}
+	}()
+	m.MacroCTLoad(reg.Base, reg.Base, 1, cpu.W32)
+}

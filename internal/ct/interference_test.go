@@ -1,0 +1,224 @@
+package ct
+
+import (
+	"math/rand"
+	"testing"
+
+	"ctbia/internal/cpu"
+	"ctbia/internal/memp"
+)
+
+// The tests in this file inject the paper's Fig. 6 interference
+// scenarios — other processes evicting or prefetching lines between the
+// CTLoad and CTStore of Algorithm 3 — and verify that no store is ever
+// lost and no address is ever corrupted.
+
+// storeUnderInterference performs a protected store with the given hook
+// and returns the machine for inspection.
+func storeUnderInterference(hook Hook, warm func(m *cpu.Machine, reg memp.Region)) (*cpu.Machine, memp.Region) {
+	m := cpu.New(testConfig(1))
+	reg := m.Alloc.Alloc("tab", memp.PageSize/2) // 32 lines
+	if warm != nil {
+		warm(m, reg)
+	}
+	s := BIA{Hook: hook}
+	ds := FromRegion(reg)
+	s.Store(m, ds, reg.Base+8, 0xabcd, cpu.W32)
+	return m, reg
+}
+
+// checkIntegrity verifies the target holds the stored value and all
+// other words kept their previous contents.
+func checkIntegrity(t *testing.T, m *cpu.Machine, reg memp.Region, ref map[memp.Addr]uint32) {
+	t.Helper()
+	if got := m.Mem.Read32(reg.Base + 8); got != 0xabcd {
+		t.Fatalf("store lost: target = %#x, want 0xabcd", got)
+	}
+	for a, want := range ref {
+		if a == reg.Base+8 {
+			continue
+		}
+		if got := m.Mem.Read32(a); got != want {
+			t.Fatalf("corruption at %v: %#x, want %#x", a, got, want)
+		}
+	}
+}
+
+// seedTable fills the region with known values and returns them.
+func seedTable(m *cpu.Machine, reg memp.Region) map[memp.Addr]uint32 {
+	ref := make(map[memp.Addr]uint32)
+	for off := uint64(0); off < reg.Size; off += 4 {
+		a := reg.Base + memp.Addr(off)
+		v := uint32(off * 2246822519)
+		m.Mem.Write32(a, v)
+		ref[a] = v
+	}
+	return ref
+}
+
+func TestStoreFig6aDirtyLineHappyPath(t *testing.T) {
+	// Fig. 6(a): line dirty at CTLoad time, no interference. CTLoad
+	// returns authentic data; CTStore succeeds.
+	var ref map[memp.Addr]uint32
+	m, reg := storeUnderInterference(nil, func(m *cpu.Machine, reg memp.Region) {
+		ref = seedTable(m, reg)
+		m.Store32(reg.Base+8, ref[reg.Base+8]) // make target line dirty
+	})
+	checkIntegrity(t, m, reg, ref)
+}
+
+func TestStoreFig6bCleanMissPath(t *testing.T) {
+	// Fig. 6(b): line absent at CTLoad (fake data returned); CTStore
+	// finds it absent too and the fetchset RMW completes the store.
+	var ref map[memp.Addr]uint32
+	m, reg := storeUnderInterference(nil, func(m *cpu.Machine, reg memp.Region) {
+		ref = seedTable(m, reg)
+		// Nothing cached: machine caches are cold.
+	})
+	checkIntegrity(t, m, reg, ref)
+}
+
+func TestStoreFig6cEvictionBetweenCTLoadAndCTStore(t *testing.T) {
+	// Fig. 6(c): the line is dirty when CTLoad reads it, then another
+	// process evicts it before CTStore. CTStore must DO NOTHING and
+	// the fetchset path must still complete the store.
+	var m *cpu.Machine
+	var ref map[memp.Addr]uint32
+	hook := func(p HookPoint, page memp.Addr) {
+		if p == HookAfterCTLoad {
+			// Evict the whole page from every level.
+			for slot := uint(0); slot < 32; slot++ {
+				m.Hier.Flush(memp.LineOf(page, slot))
+			}
+		}
+	}
+	m = cpu.New(testConfig(1))
+	reg := m.Alloc.Alloc("tab", memp.PageSize/2)
+	ref = seedTable(m, reg)
+	m.Store32(reg.Base+8, ref[reg.Base+8]) // dirty target line
+	s := BIA{Hook: hook}
+	s.Store(m, FromRegion(reg), reg.Base+8, 0xabcd, cpu.W32)
+	checkIntegrity(t, m, reg, ref)
+}
+
+func TestStoreFig6dPrefetchBetweenCTLoadAndCTStore(t *testing.T) {
+	// Fig. 6(d): CTLoad misses (fake data), then the prefetcher brings
+	// the line in CLEAN before CTStore. CTStore sees a present but
+	// non-dirty line and must not write the fake data.
+	var m *cpu.Machine
+	hook := func(p HookPoint, page memp.Addr) {
+		if p == HookAfterCTLoad {
+			for slot := uint(0); slot < 32; slot++ {
+				m.Hier.PrefetchLine(memp.LineOf(page, slot))
+			}
+		}
+	}
+	m = cpu.New(testConfig(1))
+	reg := m.Alloc.Alloc("tab", memp.PageSize/2)
+	ref := seedTable(m, reg)
+	s := BIA{Hook: hook}
+	s.Store(m, FromRegion(reg), reg.Base+8, 0xabcd, cpu.W32)
+	checkIntegrity(t, m, reg, ref)
+}
+
+func TestStoreUnderRandomInterferenceProperty(t *testing.T) {
+	// Generalized Fig. 6: random flush/prefetch/demand interference at
+	// every hook point must never lose a store or corrupt a bystander.
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var m *cpu.Machine
+		var reg memp.Region
+		hook := func(p HookPoint, page memp.Addr) {
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				la := memp.LineOf(page, uint(rng.Intn(32)))
+				switch rng.Intn(3) {
+				case 0:
+					m.Hier.Flush(la)
+				case 1:
+					m.Hier.PrefetchLine(la)
+				case 2:
+					// Another process's demand read: fills clean.
+					m.Hier.AccessFrom(1, la, 0)
+				}
+			}
+		}
+		m = cpu.New(testConfig(1))
+		reg = m.Alloc.Alloc("tab", memp.PageSize/2)
+		ref := seedTable(m, reg)
+		ds := FromRegion(reg)
+		s := BIA{Hook: hook}
+		want := make(map[memp.Addr]uint32)
+		for a, v := range ref {
+			want[a] = v
+		}
+		// A burst of protected stores at random targets.
+		for step := 0; step < 25; step++ {
+			idx := rng.Intn(int(reg.Size / 4))
+			a := reg.Base + memp.Addr(4*idx)
+			v := rng.Uint32()
+			s.Store(m, ds, a, uint64(v), cpu.W32)
+			want[a] = v
+		}
+		for a, v := range want {
+			if got := m.Mem.Read32(a); got != v {
+				t.Fatalf("seed %d: %v = %#x, want %#x", seed, a, got, v)
+			}
+		}
+	}
+}
+
+func TestLoadUnderRandomInterference(t *testing.T) {
+	// Loads under interference must still return the right value.
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		var m *cpu.Machine
+		hook := func(p HookPoint, page memp.Addr) {
+			la := memp.LineOf(page, uint(rng.Intn(32)))
+			if rng.Intn(2) == 0 {
+				m.Hier.Flush(la)
+			} else {
+				m.Hier.PrefetchLine(la)
+			}
+		}
+		m = cpu.New(testConfig(1))
+		reg := m.Alloc.Alloc("tab", memp.PageSize/2)
+		ref := seedTable(m, reg)
+		ds := FromRegion(reg)
+		s := BIA{Hook: hook}
+		for step := 0; step < 40; step++ {
+			idx := rng.Intn(int(reg.Size / 4))
+			a := reg.Base + memp.Addr(4*idx)
+			if got := uint32(s.Load(m, ds, a, cpu.W32)); got != ref[a] {
+				t.Fatalf("seed %d: load %v = %#x, want %#x", seed, a, got, ref[a])
+			}
+		}
+	}
+}
+
+func TestBIASubsetInvariantSurvivesRuntimeUse(t *testing.T) {
+	// After heavy protected traffic with interference, the BIA still
+	// never over-reports.
+	rng := rand.New(rand.NewSource(123))
+	var m *cpu.Machine
+	hook := func(p HookPoint, page memp.Addr) {
+		if rng.Intn(3) == 0 {
+			m.Hier.Flush(memp.LineOf(page, uint(rng.Intn(64))))
+		}
+	}
+	m = cpu.New(testConfig(1))
+	reg := m.Alloc.Alloc("tab", 2*memp.PageSize)
+	ds := FromRegion(reg)
+	s := BIA{Hook: hook}
+	for step := 0; step < 100; step++ {
+		idx := rng.Intn(int(reg.Size / 4))
+		a := reg.Base + memp.Addr(4*idx)
+		if step%2 == 0 {
+			s.Load(m, ds, a, cpu.W32)
+		} else {
+			s.Store(m, ds, a, uint64(step), cpu.W32)
+		}
+		if err := m.BIA.CheckSubset(m.Hier); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}

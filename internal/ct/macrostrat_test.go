@@ -1,0 +1,113 @@
+package ct
+
+import (
+	"testing"
+
+	"ctbia/internal/cpu"
+	"ctbia/internal/memp"
+)
+
+func TestMacroFunctionalEquivalence(t *testing.T) {
+	m := cpu.New(testConfig(1))
+	reg := m.Alloc.Alloc("t", 2*memp.PageSize)
+	ds := FromRegion(reg)
+	n := int(reg.Size / 4)
+	for i := 0; i < n; i++ {
+		m.Mem.Write32(reg.Base+memp.Addr(4*i), uint32(i*2654435761))
+	}
+	s := BIAMacro{}
+	for _, i := range []int{0, 1, 1023, 1024, n - 1} {
+		addr := reg.Base + memp.Addr(4*i)
+		if got := uint32(s.Load(m, ds, addr, cpu.W32)); got != m.Mem.Read32(addr) {
+			t.Fatalf("macro load[%d] = %#x, want %#x", i, got, m.Mem.Read32(addr))
+		}
+	}
+	s.Store(m, ds, reg.Base+8, 0xbeef, cpu.W32)
+	if got := m.Mem.Read32(reg.Base + 8); got != 0xbeef {
+		t.Fatalf("macro store lost: %#x", got)
+	}
+	want3 := uint32(3 * 2654435761 & 0xffffffff)
+	if got, want := m.Mem.Read32(reg.Base+12), want3; got != want {
+		t.Fatalf("macro store corrupted a neighbour: %#x, want %#x", got, want)
+	}
+	blk := s.LoadBlock(m, ds, reg.Base+memp.Addr(5*memp.LineSize), 3)
+	if len(blk) != 3*memp.LineSize {
+		t.Fatalf("block len = %d", len(blk))
+	}
+}
+
+func TestMacroSameFootprintAsBIA(t *testing.T) {
+	// The macro strategy must generate the same attacker-visible trace
+	// as the software BIA strategy — same algorithm, same footprint.
+	run := func(s Strategy) string {
+		m := cpu.New(testConfig(1))
+		rec := &traceRecorder{}
+		m.Hier.Subscribe(rec)
+		reg := m.Alloc.Alloc("t", memp.PageSize)
+		ds := FromRegion(reg)
+		for i := 0; i < 8; i++ {
+			s.Load(m, ds, reg.Base+memp.Addr(i*260), cpu.W32)
+			s.Store(m, ds, reg.Base+memp.Addr(i*516), uint64(i), cpu.W32)
+		}
+		return rec.key()
+	}
+	if run(BIA{}) != run(BIAMacro{}) {
+		t.Fatal("macro-op footprint differs from the software algorithm")
+	}
+}
+
+func TestMacroFewerInstructionsThanSoftwareBIA(t *testing.T) {
+	// The point of macro-fusion: the loop bookkeeping retires as
+	// micro-code, shrinking the architectural instruction stream.
+	run := func(s Strategy) uint64 {
+		m := cpu.New(testConfig(1))
+		reg := m.Alloc.Alloc("t", memp.PageSize)
+		ds := FromRegion(reg)
+		for i := 0; i < 16; i++ {
+			s.Load(m, ds, reg.Base+memp.Addr(i*64), cpu.W32)
+		}
+		return m.Report().Insts
+	}
+	macro, soft := run(BIAMacro{}), run(BIA{})
+	if macro >= soft {
+		t.Fatalf("macro insts %d should be below software insts %d", macro, soft)
+	}
+}
+
+func TestMacroTraceIndependence(t *testing.T) {
+	run := func(secret int) string {
+		m := cpu.New(testConfig(1))
+		rec := &traceRecorder{}
+		m.Hier.Subscribe(rec)
+		reg := m.Alloc.Alloc("t", memp.PageSize)
+		ds := FromRegion(reg)
+		for i := 0; i < 6; i++ {
+			idx := (secret + 37*i) % int(reg.Size/4)
+			s := BIAMacro{}
+			s.Load(m, ds, reg.Base+memp.Addr(4*idx), cpu.W32)
+			s.Store(m, ds, reg.Base+memp.Addr(4*((idx*7)%int(reg.Size/4))), 9, cpu.W32)
+		}
+		return rec.key()
+	}
+	if run(5) != run(777) {
+		t.Fatal("macro strategy leaks")
+	}
+}
+
+func TestMacroPanicsWithoutBIA(t *testing.T) {
+	m := cpu.New(testConfig(0))
+	reg := m.Alloc.Alloc("t", 256)
+	ds := FromRegion(reg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("macro ops need a BIA")
+		}
+	}()
+	BIAMacro{}.Load(m, ds, reg.Base, cpu.W32)
+}
+
+func TestMacroMetadata(t *testing.T) {
+	if (BIAMacro{}).Name() != "bia-macro" || !(BIAMacro{}).NeedsBIA() {
+		t.Fatal("metadata")
+	}
+}

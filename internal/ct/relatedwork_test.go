@@ -1,0 +1,168 @@
+package ct
+
+import (
+	"testing"
+
+	"ctbia/internal/cache"
+	"ctbia/internal/cpu"
+	"ctbia/internal/memp"
+)
+
+func TestPreloadFunctional(t *testing.T) {
+	m := cpu.New(testConfig(0))
+	reg := m.Alloc.Alloc("t", memp.PageSize)
+	ds := FromRegion(reg)
+	s := Preload{}
+	s.Store(m, ds, reg.Base+40, 77, cpu.W32)
+	if got := s.Load(m, ds, reg.Base+40, cpu.W32); got != 77 {
+		t.Fatalf("preload round trip = %d", got)
+	}
+	blk := s.LoadBlock(m, ds, reg.Base, 2)
+	if len(blk) != 128 {
+		t.Fatal("block")
+	}
+}
+
+func TestPreloadSecureOnlyWithoutInterference(t *testing.T) {
+	// Without an attacker, preload's trace is secret-independent (the
+	// direct access hits and hits are only visible as EvAccess, which
+	// is identical in count but differs in SET — so strictly the trace
+	// differs; preload relies on the weaker "attacker sees only
+	// misses/evictions" observable).
+	missTrace := func(secretIdx int, evict bool) string {
+		m := cpu.New(testConfig(0))
+		key := ""
+		m.Hier.Subscribe(missRecorder(&key))
+		reg := m.Alloc.Alloc("t", memp.PageSize)
+		ds := FromRegion(reg)
+		var hook Hook
+		if evict {
+			hook = func(p HookPoint, _ memp.Addr) {
+				// The attacker evicts the whole DS after preload.
+				for _, la := range ds.Lines() {
+					m.Hier.Flush(la)
+				}
+			}
+		}
+		s := Preload{Hook: hook}
+		s.Load(m, ds, reg.Base+memp.Addr(secretIdx*memp.LineSize), cpu.W32)
+		return key
+	}
+	// Quiet cache: fill/evict footprint identical across secrets.
+	if missTrace(3, false) != missTrace(40, false) {
+		t.Fatal("preload without interference should have a secret-independent fill footprint")
+	}
+	// Under eviction the refill betrays the secret — the paper's
+	// Sec. 8 critique of SC-Eliminator.
+	if missTrace(3, true) == missTrace(40, true) {
+		t.Fatal("preload under eviction must leak (this is the known weakness)")
+	}
+}
+
+// missRecorder records only fills and evictions — the state changes an
+// eviction-based attacker can actually observe.
+func missRecorder(out *string) cache.Listener {
+	return cache.ListenerFunc(func(ev cache.Event) {
+		if ev.Probe {
+			return
+		}
+		switch ev.Kind {
+		case cache.EvFill, cache.EvEvict:
+			*out += ev.Line.String() + ";"
+		}
+	})
+}
+
+func TestBIASurvivesTheSameEvictionAttack(t *testing.T) {
+	// The same attack against the BIA algorithm: footprint stays
+	// secret-independent because evicted lines land in tofetch for
+	// EVERY secret.
+	trace := func(secretIdx int) string {
+		m := cpu.New(testConfig(1))
+		key := ""
+		m.Hier.Subscribe(missRecorder(&key))
+		reg := m.Alloc.Alloc("t", memp.PageSize)
+		ds := FromRegion(reg)
+		hook := func(p HookPoint, _ memp.Addr) {
+			if p == HookAfterCTLoad {
+				for i, la := range ds.Lines() {
+					if i%3 == 0 {
+						m.Hier.Flush(la)
+					}
+				}
+			}
+		}
+		s := BIA{Hook: hook}
+		s.Load(m, ds, reg.Base+memp.Addr(secretIdx*memp.LineSize), cpu.W32)
+		return key
+	}
+	if trace(3) != trace(40) {
+		t.Fatal("BIA under the eviction attack must not leak")
+	}
+}
+
+func TestScratchpadFunctional(t *testing.T) {
+	m := cpu.New(testConfig(0))
+	sp := m.NewScratchpad(16<<10, 2)
+	reg := m.Alloc.Alloc("t", memp.PageSize)
+	for i := 0; i < 64; i++ {
+		m.Mem.Write32(reg.Base+memp.Addr(4*i), uint32(i+1))
+	}
+	ds := FromRegion(reg)
+	s := NewScratchpadStrategy(sp)
+	if got := s.Load(m, ds, reg.Base+8, cpu.W32); got != 3 {
+		t.Fatalf("scratch load = %d", got)
+	}
+	s.Store(m, ds, reg.Base+8, 99, cpu.W32)
+	if got := s.Load(m, ds, reg.Base+8, cpu.W32); got != 99 {
+		t.Fatalf("scratch store = %d", got)
+	}
+	if sp.Used() != int(reg.Size) {
+		t.Fatalf("scratchpad used = %d, want %d", sp.Used(), reg.Size)
+	}
+	blk := s.LoadBlock(m, ds, reg.Base, 1)
+	if len(blk) != memp.LineSize {
+		t.Fatal("block")
+	}
+}
+
+func TestScratchpadEmitsNoCacheEvents(t *testing.T) {
+	m := cpu.New(testConfig(0))
+	sp := m.NewScratchpad(16<<10, 2)
+	reg := m.Alloc.Alloc("t", memp.PageSize)
+	ds := FromRegion(reg)
+	s := NewScratchpadStrategy(sp)
+	s.Load(m, ds, reg.Base, cpu.W32) // includes copy-in
+	events := 0
+	m.Hier.Subscribe(cache.ListenerFunc(func(cache.Event) { events++ }))
+	for i := 0; i < 20; i++ {
+		s.Load(m, ds, reg.Base+memp.Addr(4*i), cpu.W32)
+		s.Store(m, ds, reg.Base+memp.Addr(4*i), uint64(i), cpu.W32)
+	}
+	if events != 0 {
+		t.Fatalf("scratchpad accesses produced %d cache events; want 0", events)
+	}
+}
+
+func TestScratchpadOverflowPanics(t *testing.T) {
+	m := cpu.New(testConfig(0))
+	sp := m.NewScratchpad(128, 2) // 2 lines only
+	reg := m.Alloc.Alloc("t", memp.PageSize)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow must panic")
+		}
+	}()
+	m.CopyIn(sp, reg.Base, reg.Size)
+}
+
+func TestScratchpadNonResidentAccessPanics(t *testing.T) {
+	m := cpu.New(testConfig(0))
+	sp := m.NewScratchpad(4096, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-resident access must panic")
+		}
+	}()
+	m.ScratchLoad(sp, 0x10000, cpu.W32)
+}

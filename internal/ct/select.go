@@ -1,0 +1,57 @@
+package ct
+
+import "ctbia/internal/cpu"
+
+// Control-flow linearization helpers (paper Sec. 2.3): branch-free
+// primitives that let workloads execute both sides of secret-dependent
+// conditions and merge with a predicate, the way Constantine's "taken"
+// transformation does. Each helper charges its ALU cost to the machine
+// so instruction counts stay honest.
+
+// Mask64 turns a predicate into an all-ones/all-zeros mask.
+func Mask64(pred bool) uint64 {
+	if pred {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// Select returns a if pred else b, in constant time (cmov).
+func Select(m *cpu.Machine, pred bool, a, b uint64) uint64 {
+	m.Op(opsSelect)
+	mask := Mask64(pred)
+	return (a & mask) | (b &^ mask)
+}
+
+// Select32 is Select for 32-bit values.
+func Select32(m *cpu.Machine, pred bool, a, b uint32) uint32 {
+	return uint32(Select(m, pred, uint64(a), uint64(b)))
+}
+
+// LessCT compares two unsigned values branch-free and charges one op.
+func LessCT(m *cpu.Machine, a, b uint64) bool {
+	m.Op(1)
+	return a < b
+}
+
+// EqCT compares two unsigned values branch-free and charges one op.
+func EqCT(m *cpu.Machine, a, b uint64) bool {
+	m.Op(1)
+	return a == b
+}
+
+// Min returns the smaller value in constant time.
+func Min(m *cpu.Machine, a, b uint64) uint64 {
+	return Select(m, LessCT(m, a, b), a, b)
+}
+
+// SignedLessCT compares two int64s branch-free.
+func SignedLessCT(m *cpu.Machine, a, b int64) bool {
+	m.Op(1)
+	return a < b
+}
+
+// SelectInt returns a if pred else b, charging one cmov.
+func SelectInt(m *cpu.Machine, pred bool, a, b int64) int64 {
+	return int64(Select(m, pred, uint64(a), uint64(b)))
+}

@@ -1,0 +1,206 @@
+package ctcrypto
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"ctbia/internal/cpu"
+	"ctbia/internal/ct"
+)
+
+// AES is real AES-128 in the classic four-T-table formulation — the
+// paper's canonical small-DS example (Sec. 6.3: |T-table| = 1024 bytes
+// = 16 cache lines, within a single BIA entry). The S-box is derived in
+// code from GF(2^8) arithmetic and the implementation is validated
+// against the FIPS-197 known-answer test.
+type AES struct{}
+
+// Name implements Kernel.
+func (AES) Name() string { return "AES" }
+
+// TableBytes implements Kernel.
+func (AES) TableBytes() int {
+	n := 0
+	for _, t := range aesTables() {
+		n += t.bytes()
+	}
+	return n
+}
+
+// gfMul multiplies in GF(2^8) modulo x^8+x^4+x^3+x+1.
+func gfMul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// gfInv computes the multiplicative inverse in GF(2^8) (0 maps to 0).
+func gfInv(a byte) byte {
+	if a == 0 {
+		return 0
+	}
+	// a^254 = a^-1 in GF(2^8).
+	result := byte(1)
+	base := a
+	for e := 254; e > 0; e >>= 1 {
+		if e&1 != 0 {
+			result = gfMul(result, base)
+		}
+		base = gfMul(base, base)
+	}
+	return result
+}
+
+// aesSBox derives the AES S-box: multiplicative inverse followed by the
+// affine transform b ^ rotl(b,1..4) ^ 0x63.
+func aesSBox() [256]byte {
+	var sb [256]byte
+	rotl := func(b byte, n uint) byte { return b<<n | b>>(8-n) }
+	for i := 0; i < 256; i++ {
+		b := gfInv(byte(i))
+		sb[i] = b ^ rotl(b, 1) ^ rotl(b, 2) ^ rotl(b, 3) ^ rotl(b, 4) ^ 0x63
+	}
+	return sb
+}
+
+// Table indices within the AES env.
+const (
+	aesTe0 = iota
+	aesTe1
+	aesTe2
+	aesTe3
+	aesSbox
+)
+
+// aesTables builds Te0..Te3 (256 x 4 B each) and the S-box (256 x 1 B).
+func aesTables() []table {
+	sb := aesSBox()
+	te0 := make([]uint32, 256)
+	te1 := make([]uint32, 256)
+	te2 := make([]uint32, 256)
+	te3 := make([]uint32, 256)
+	for i := 0; i < 256; i++ {
+		s := sb[i]
+		s2 := gfMul(s, 2)
+		s3 := s2 ^ s
+		w := uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		te0[i] = w
+		te1[i] = w>>8 | w<<24
+		te2[i] = w>>16 | w<<16
+		te3[i] = w>>24 | w<<8
+	}
+	sbox := make([]uint32, 256)
+	for i, s := range sb {
+		sbox[i] = uint32(s)
+	}
+	return []table{
+		{"Te0", 4, te0}, {"Te1", 4, te1}, {"Te2", 4, te2}, {"Te3", 4, te3},
+		{"sbox", 1, sbox},
+	}
+}
+
+// aesSubW applies the S-box to each byte of a word (key schedule).
+func aesSubW(e env, w uint32) uint32 {
+	e.op(4)
+	return e.ld(aesSbox, w>>24)<<24 |
+		e.ld(aesSbox, (w>>16)&0xff)<<16 |
+		e.ld(aesSbox, (w>>8)&0xff)<<8 |
+		e.ld(aesSbox, w&0xff)
+}
+
+// aesExpandKey runs the AES-128 key schedule; the S-box lookups are
+// secret-dependent (they see key material).
+func aesExpandKey(e env, key []byte) [44]uint32 {
+	var rk [44]uint32
+	for i := 0; i < 4; i++ {
+		rk[i] = binary.BigEndian.Uint32(key[4*i:])
+	}
+	rcon := uint32(1)
+	for i := 4; i < 44; i++ {
+		t := rk[i-1]
+		if i%4 == 0 {
+			e.op(3)
+			t = aesSubW(e, t<<8|t>>24) ^ rcon<<24
+			rcon = uint32(gfMul(byte(rcon), 2))
+		}
+		e.op(1)
+		rk[i] = rk[i-4] ^ t
+	}
+	return rk
+}
+
+// aesEncryptBlock encrypts one 16-byte block with the T-table rounds.
+func aesEncryptBlock(e env, rk *[44]uint32, dst, src []byte) {
+	e.op(8)
+	s0 := binary.BigEndian.Uint32(src[0:]) ^ rk[0]
+	s1 := binary.BigEndian.Uint32(src[4:]) ^ rk[1]
+	s2 := binary.BigEndian.Uint32(src[8:]) ^ rk[2]
+	s3 := binary.BigEndian.Uint32(src[12:]) ^ rk[3]
+
+	k := 4
+	for r := 0; r < 9; r++ {
+		e.op(20) // xors, shifts, masks per round
+		t0 := e.ld(aesTe0, s0>>24) ^ e.ld(aesTe1, (s1>>16)&0xff) ^ e.ld(aesTe2, (s2>>8)&0xff) ^ e.ld(aesTe3, s3&0xff) ^ rk[k]
+		t1 := e.ld(aesTe0, s1>>24) ^ e.ld(aesTe1, (s2>>16)&0xff) ^ e.ld(aesTe2, (s3>>8)&0xff) ^ e.ld(aesTe3, s0&0xff) ^ rk[k+1]
+		t2 := e.ld(aesTe0, s2>>24) ^ e.ld(aesTe1, (s3>>16)&0xff) ^ e.ld(aesTe2, (s0>>8)&0xff) ^ e.ld(aesTe3, s1&0xff) ^ rk[k+2]
+		t3 := e.ld(aesTe0, s3>>24) ^ e.ld(aesTe1, (s0>>16)&0xff) ^ e.ld(aesTe2, (s1>>8)&0xff) ^ e.ld(aesTe3, s2&0xff) ^ rk[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	// Final round: SubBytes + ShiftRows + AddRoundKey.
+	e.op(24)
+	t0 := e.ld(aesSbox, s0>>24)<<24 | e.ld(aesSbox, (s1>>16)&0xff)<<16 | e.ld(aesSbox, (s2>>8)&0xff)<<8 | e.ld(aesSbox, s3&0xff)
+	t1 := e.ld(aesSbox, s1>>24)<<24 | e.ld(aesSbox, (s2>>16)&0xff)<<16 | e.ld(aesSbox, (s3>>8)&0xff)<<8 | e.ld(aesSbox, s0&0xff)
+	t2 := e.ld(aesSbox, s2>>24)<<24 | e.ld(aesSbox, (s3>>16)&0xff)<<16 | e.ld(aesSbox, (s0>>8)&0xff)<<8 | e.ld(aesSbox, s1&0xff)
+	t3 := e.ld(aesSbox, s3>>24)<<24 | e.ld(aesSbox, (s0>>16)&0xff)<<16 | e.ld(aesSbox, (s1>>8)&0xff)<<8 | e.ld(aesSbox, s2&0xff)
+	binary.BigEndian.PutUint32(dst[0:], t0^rk[40])
+	binary.BigEndian.PutUint32(dst[4:], t1^rk[41])
+	binary.BigEndian.PutUint32(dst[8:], t2^rk[42])
+	binary.BigEndian.PutUint32(dst[12:], t3^rk[43])
+}
+
+// aesRun executes the benchmark against any env.
+func aesRun(e env, p Params) uint64 {
+	rng := rand.New(rand.NewSource(p.Seed ^ 0xae5))
+	key := make([]byte, 16)
+	rng.Read(key)
+	rk := aesExpandKey(e, key)
+	h := newChecksum()
+	src := make([]byte, 16)
+	dst := make([]byte, 16)
+	for b := 0; b < p.Blocks; b++ {
+		rng.Read(src)
+		aesEncryptBlock(e, &rk, dst, src)
+		h.addBytes(dst)
+	}
+	return h.sum()
+}
+
+// Run implements Kernel.
+func (AES) Run(m *cpu.Machine, strat ct.Strategy, p Params) uint64 {
+	return aesRun(newSimEnv(m, strat, "aes", aesTables()), p)
+}
+
+// Reference implements Kernel.
+func (AES) Reference(p Params) uint64 {
+	return aesRun(newRefEnv(aesTables()), p)
+}
+
+// aesEncryptKAT exposes single-block encryption for the FIPS-197 test.
+func aesEncryptKAT(key, pt []byte) []byte {
+	e := newRefEnv(aesTables())
+	rk := aesExpandKey(e, key)
+	out := make([]byte, 16)
+	aesEncryptBlock(e, &rk, out, pt)
+	return out
+}

@@ -1,0 +1,100 @@
+package ctcrypto
+
+import "encoding/binary"
+
+// AES-128 decryption (the equivalent inverse cipher with Td tables),
+// completing the flagship real cipher. The Fig. 9 benchmark kernel only
+// encrypts — as the paper's AES workload does — so the decryption path
+// uses its own table set and plain-slice execution; it exists to
+// round-trip-validate the key schedule and table generation, anchored
+// by the FIPS-197 known-answer test.
+
+// aesInvSBox inverts the derived S-box.
+func aesInvSBox() [256]byte {
+	sb := aesSBox()
+	var inv [256]byte
+	for i, v := range sb {
+		inv[v] = byte(i)
+	}
+	return inv
+}
+
+// aesTdTables builds Td0..Td3: InvMixColumns ∘ InvSubBytes in table
+// form. Td0[x] packs (0e,09,0d,0b)·isbox[x]; Td1..Td3 are its byte
+// rotations.
+func aesTdTables() (td [4][256]uint32, isb [256]byte) {
+	isb = aesInvSBox()
+	for i := 0; i < 256; i++ {
+		s := isb[i]
+		w := uint32(gfMul(s, 14))<<24 | uint32(gfMul(s, 9))<<16 |
+			uint32(gfMul(s, 13))<<8 | uint32(gfMul(s, 11))
+		td[0][i] = w
+		td[1][i] = w>>8 | w<<24
+		td[2][i] = w>>16 | w<<16
+		td[3][i] = w>>24 | w<<8
+	}
+	return td, isb
+}
+
+// aesInvMixColumnsWord applies InvMixColumns to one big-endian column.
+func aesInvMixColumnsWord(w uint32) uint32 {
+	a0 := byte(w >> 24)
+	a1 := byte(w >> 16)
+	a2 := byte(w >> 8)
+	a3 := byte(w)
+	return uint32(gfMul(a0, 14)^gfMul(a1, 11)^gfMul(a2, 13)^gfMul(a3, 9))<<24 |
+		uint32(gfMul(a0, 9)^gfMul(a1, 14)^gfMul(a2, 11)^gfMul(a3, 13))<<16 |
+		uint32(gfMul(a0, 13)^gfMul(a1, 9)^gfMul(a2, 14)^gfMul(a3, 11))<<8 |
+		uint32(gfMul(a0, 11)^gfMul(a1, 13)^gfMul(a2, 9)^gfMul(a3, 14))
+}
+
+// aesExpandDecKey derives the equivalent-inverse-cipher key schedule:
+// encryption round keys in reverse round order, InvMixColumns applied
+// to the inner rounds.
+func aesExpandDecKey(rk *[44]uint32) [44]uint32 {
+	var dk [44]uint32
+	for r := 0; r <= 10; r++ {
+		for i := 0; i < 4; i++ {
+			w := rk[4*(10-r)+i]
+			if r != 0 && r != 10 {
+				w = aesInvMixColumnsWord(w)
+			}
+			dk[4*r+i] = w
+		}
+	}
+	return dk
+}
+
+// aesDecryptKAT decrypts one block (reference path, plain slices).
+func aesDecryptKAT(key, ciphertext []byte) []byte {
+	e := newRefEnv(aesTables())
+	rk := aesExpandKey(e, key)
+	dk := aesExpandDecKey(&rk)
+	td, isb := aesTdTables()
+
+	s0 := binary.BigEndian.Uint32(ciphertext[0:]) ^ dk[0]
+	s1 := binary.BigEndian.Uint32(ciphertext[4:]) ^ dk[1]
+	s2 := binary.BigEndian.Uint32(ciphertext[8:]) ^ dk[2]
+	s3 := binary.BigEndian.Uint32(ciphertext[12:]) ^ dk[3]
+
+	k := 4
+	for r := 0; r < 9; r++ {
+		t0 := td[0][s0>>24] ^ td[1][(s3>>16)&0xff] ^ td[2][(s2>>8)&0xff] ^ td[3][s1&0xff] ^ dk[k]
+		t1 := td[0][s1>>24] ^ td[1][(s0>>16)&0xff] ^ td[2][(s3>>8)&0xff] ^ td[3][s2&0xff] ^ dk[k+1]
+		t2 := td[0][s2>>24] ^ td[1][(s1>>16)&0xff] ^ td[2][(s0>>8)&0xff] ^ td[3][s3&0xff] ^ dk[k+2]
+		t3 := td[0][s3>>24] ^ td[1][(s2>>16)&0xff] ^ td[2][(s1>>8)&0xff] ^ td[3][s0&0xff] ^ dk[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	// Final round: InvSubBytes + InvShiftRows + AddRoundKey.
+	out := make([]byte, 16)
+	t0 := uint32(isb[s0>>24])<<24 | uint32(isb[(s3>>16)&0xff])<<16 | uint32(isb[(s2>>8)&0xff])<<8 | uint32(isb[s1&0xff])
+	t1 := uint32(isb[s1>>24])<<24 | uint32(isb[(s0>>16)&0xff])<<16 | uint32(isb[(s3>>8)&0xff])<<8 | uint32(isb[s2&0xff])
+	t2 := uint32(isb[s2>>24])<<24 | uint32(isb[(s1>>16)&0xff])<<16 | uint32(isb[(s0>>8)&0xff])<<8 | uint32(isb[s3&0xff])
+	t3 := uint32(isb[s3>>24])<<24 | uint32(isb[(s2>>16)&0xff])<<16 | uint32(isb[(s1>>8)&0xff])<<8 | uint32(isb[s0&0xff])
+	binary.BigEndian.PutUint32(out[0:], t0^dk[40])
+	binary.BigEndian.PutUint32(out[4:], t1^dk[41])
+	binary.BigEndian.PutUint32(out[8:], t2^dk[42])
+	binary.BigEndian.PutUint32(out[12:], t3^dk[43])
+	return out
+}

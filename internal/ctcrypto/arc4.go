@@ -1,0 +1,97 @@
+package ctcrypto
+
+import (
+	"math/rand"
+
+	"ctbia/internal/cpu"
+	"ctbia/internal/ct"
+)
+
+// ARC4 is real RC4: a 256-byte state table permuted by the key (KSA)
+// and then walked data-dependently (PRGA). Both phases are dense with
+// secret-indexed loads AND stores into the state table — the DS is the
+// 256-byte state (4 cache lines). Validated against the classic
+// "Key"/"Plaintext" known-answer test.
+type ARC4 struct{}
+
+// Name implements Kernel.
+func (ARC4) Name() string { return "ARC4" }
+
+// TableBytes implements Kernel.
+func (ARC4) TableBytes() int { return 256 }
+
+const arc4S = 0 // table index of the state
+
+func arc4Tables() []table {
+	s := make([]uint32, 256)
+	for i := range s {
+		s[i] = uint32(i)
+	}
+	return []table{{"S", 1, s}}
+}
+
+// arc4KSA is the key-scheduling algorithm: j is key-dependent, so the
+// swap's accesses at j are secret-indexed; the accesses at i are public.
+func arc4KSA(e env, key []byte) {
+	j := uint32(0)
+	for i := uint32(0); i < 256; i++ {
+		e.op(4)
+		si := e.pld(arc4S, i)
+		j = (j + si + uint32(key[int(i)%len(key)])) & 0xff
+		sj := e.ld(arc4S, j)
+		e.pst(arc4S, i, sj)
+		e.st(arc4S, j, si)
+	}
+}
+
+// arc4PRGA generates n keystream bytes, XORing them over data in place.
+func arc4PRGA(e env, data []byte) {
+	i, j := uint32(0), uint32(0)
+	for k := range data {
+		e.op(6)
+		i = (i + 1) & 0xff
+		si := e.pld(arc4S, i)
+		j = (j + si) & 0xff
+		sj := e.ld(arc4S, j)
+		e.pst(arc4S, i, sj)
+		e.st(arc4S, j, si)
+		t := (si + sj) & 0xff
+		data[k] ^= byte(e.ld(arc4S, t))
+	}
+}
+
+func arc4Run(e env, p Params) uint64 {
+	rng := rand.New(rand.NewSource(p.Seed ^ 0xa4c4))
+	key := make([]byte, 16)
+	rng.Read(key)
+	arc4KSA(e, key)
+	h := newChecksum()
+	buf := make([]byte, 16)
+	for b := 0; b < p.Blocks; b++ {
+		rng.Read(buf)
+		arc4PRGA(e, buf)
+		h.addBytes(buf)
+	}
+	return h.sum()
+}
+
+// Run implements Kernel.
+func (ARC4) Run(m *cpu.Machine, strat ct.Strategy, p Params) uint64 {
+	return arc4Run(newSimEnv(m, strat, "arc4", arc4Tables()), p)
+}
+
+// Reference implements Kernel.
+func (ARC4) Reference(p Params) uint64 {
+	return arc4Run(newRefEnv(arc4Tables()), p)
+}
+
+// arc4KAT runs key-schedule + keystream over pt for the published test
+// vectors.
+func arc4KAT(key, pt []byte) []byte {
+	e := newRefEnv(arc4Tables())
+	arc4KSA(e, key)
+	out := make([]byte, len(pt))
+	copy(out, pt)
+	arc4PRGA(e, out)
+	return out
+}

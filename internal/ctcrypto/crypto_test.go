@@ -1,0 +1,274 @@
+package ctcrypto
+
+import (
+	"encoding/hex"
+	"testing"
+
+	"ctbia/internal/bia"
+	"ctbia/internal/cache"
+	"ctbia/internal/cpu"
+	"ctbia/internal/ct"
+)
+
+func cryptoMachine(biaLevel int) *cpu.Machine {
+	return cpu.New(cpu.Config{
+		Levels: []cache.Config{
+			{Name: "L1d", Size: 16384, Ways: 4, Latency: 2},
+			{Name: "L2", Size: 262144, Ways: 8, Latency: 15},
+		},
+		DRAMLatency: 150,
+		BIA:         bia.Config{Entries: 32, Ways: 4, Latency: 1},
+		BIALevel:    biaLevel,
+	})
+}
+
+// --- Known-answer tests for the real ciphers ---
+
+func TestAESKnownAnswerFIPS197(t *testing.T) {
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f")
+	pt, _ := hex.DecodeString("00112233445566778899aabbccddeeff")
+	got := hex.EncodeToString(aesEncryptKAT(key, pt))
+	if got != "69c4e0d86a7b0430d8cdb78070b4c55a" {
+		t.Fatalf("AES-128 KAT = %s, want 69c4e0d86a7b0430d8cdb78070b4c55a", got)
+	}
+}
+
+func TestAESSBoxSpotValues(t *testing.T) {
+	sb := aesSBox()
+	// Canonical spot values from FIPS-197.
+	for idx, want := range map[int]byte{0x00: 0x63, 0x01: 0x7c, 0x53: 0xed, 0xff: 0x16} {
+		if sb[idx] != want {
+			t.Errorf("sbox[%#02x] = %#02x, want %#02x", idx, sb[idx], want)
+		}
+	}
+}
+
+func TestARC4KnownAnswer(t *testing.T) {
+	// The classic test vector: RC4("Key", "Plaintext") = BBF316E8D940AF0AD3.
+	got := hex.EncodeToString(arc4KAT([]byte("Key"), []byte("Plaintext")))
+	if got != "bbf316e8d940af0ad3" {
+		t.Fatalf("RC4 KAT = %s, want bbf316e8d940af0ad3", got)
+	}
+}
+
+func TestARC4SecondKnownAnswer(t *testing.T) {
+	// RC4("Wiki", "pedia") = 1021BF0420.
+	got := hex.EncodeToString(arc4KAT([]byte("Wiki"), []byte("pedia")))
+	if got != "1021bf0420" {
+		t.Fatalf("RC4 KAT2 = %s, want 1021bf0420", got)
+	}
+}
+
+// --- Round-trip tests for the structure kernels ---
+
+func TestBlowfishRoundTrip(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		key := []byte{byte(i), 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+		l, r := uint32(0x01234567)+uint32(i), uint32(0x89abcdef)
+		gl, gr := bfRoundTrip(key, l, r)
+		if gl != l || gr != r {
+			t.Fatalf("blowfish roundtrip: got %08x%08x, want %08x%08x", gl, gr, l, r)
+		}
+	}
+}
+
+func TestBlowfishKeyChangesCiphertext(t *testing.T) {
+	enc := func(k byte) [2]uint32 {
+		e := newRefEnv(blowfishTables())
+		key := []byte{k, 2, 3, 4, 5, 6, 7, 8}
+		bfExpandKey(e, key)
+		l, r := bfEncrypt(e, 1, 2)
+		return [2]uint32{l, r}
+	}
+	if enc(1) == enc(2) {
+		t.Fatal("different keys produced identical ciphertext")
+	}
+}
+
+func TestCASTRoundTrip(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		key := make([]byte, 16)
+		key[0] = byte(i + 1)
+		l, r := uint32(0xdeadbeef), uint32(0xfeedface)+uint32(i)
+		gl, gr := castRoundTrip(key, l, r)
+		if gl != l || gr != r {
+			t.Fatalf("cast roundtrip: %08x%08x != %08x%08x", gl, gr, l, r)
+		}
+	}
+}
+
+func TestDESRoundTrip(t *testing.T) {
+	for i := uint64(0); i < 8; i++ {
+		key := 0x0123456789abcdef ^ i
+		block := 0x1122334455667788 + i
+		if got := desRoundTrip(key, block); got != block {
+			t.Fatalf("des roundtrip: %016x != %016x", got, block)
+		}
+	}
+}
+
+func TestDESExpandIsRealEExpansion(t *testing.T) {
+	// E expansion: group g = bits (4g-1 .. 4g+4) MSB-first, with
+	// wraparound. For r with only bit 0 (MSB) set, that bit appears in
+	// group 0 (position 1, value 16) and group 7 (position 5, value 1).
+	chunks := desExpand(0x80000000)
+	for g, want := range map[int]uint32{0: 16, 7: 1} {
+		if chunks[g] != want {
+			t.Errorf("chunk[%d] = %d, want %d", g, chunks[g], want)
+		}
+	}
+	for g := 1; g < 7; g++ {
+		if chunks[g] != 0 {
+			t.Errorf("chunk[%d] = %d, want 0", g, chunks[g])
+		}
+	}
+	// Each 32-bit input bit appears in exactly 1 or 2 chunks; total
+	// expanded bits = 48.
+	total := 0
+	for b := 0; b < 32; b++ {
+		c := desExpand(1 << uint(31-b))
+		for _, ch := range c {
+			for x := ch; x != 0; x &= x - 1 {
+				total++
+			}
+		}
+	}
+	if total != 48 {
+		t.Fatalf("E expansion emits %d bit positions, want 48", total)
+	}
+}
+
+func TestRC2RoundTrip(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		key := make([]byte, 16)
+		key[3] = byte(7 * i)
+		block := [4]uint16{0x1234, 0x5678, uint16(i), 0xdef0}
+		if got := rc2RoundTrip(key, block); got != block {
+			t.Fatalf("rc2 roundtrip: %v != %v", got, block)
+		}
+	}
+}
+
+func TestXORInvolution(t *testing.T) {
+	key := []byte("sixteen byte key")
+	data := []byte("some plaintext!!")
+	got := xorRoundTrip(key, data)
+	if string(got) != string(data) {
+		t.Fatalf("xor double-apply: %q != %q", got, data)
+	}
+}
+
+// --- Simulated-vs-reference equivalence for every kernel/strategy ---
+
+func TestAllKernelsAllStrategiesMatchReference(t *testing.T) {
+	strategies := []struct {
+		s        ct.Strategy
+		biaLevel int
+	}{
+		{ct.Direct{}, 0},
+		{ct.Linear{}, 0},
+		{ct.LinearVec{}, 0},
+		{ct.BIA{}, 1},
+		{ct.BIA{}, 2},
+	}
+	p := Params{Blocks: 6, Seed: 42}
+	for _, k := range All() {
+		want := k.Reference(p)
+		if want == 0 {
+			t.Fatalf("%s: degenerate checksum", k.Name())
+		}
+		for _, st := range strategies {
+			m := cryptoMachine(st.biaLevel)
+			if got := k.Run(m, st.s, p); got != want {
+				t.Errorf("%s/%s(biaL%d) = %#x, want %#x", k.Name(), st.s.Name(), st.biaLevel, got, want)
+			}
+		}
+	}
+}
+
+func TestKernelChecksumDependsOnSeed(t *testing.T) {
+	for _, k := range All() {
+		a := k.Reference(Params{Blocks: 3, Seed: 1})
+		b := k.Reference(Params{Blocks: 3, Seed: 2})
+		if a == b {
+			t.Errorf("%s: checksum insensitive to seed", k.Name())
+		}
+	}
+}
+
+func TestRegistryAndTableSizes(t *testing.T) {
+	if len(All()) != 8 {
+		t.Fatalf("suite = %d kernels, want 8 (Fig. 9)", len(All()))
+	}
+	// Paper Sec. 6.3: AES's secret tables include the 1024-byte T-table
+	// footprint per table; our five tables total 4*1024+256.
+	if got := (AES{}).TableBytes(); got != 4*1024+256 {
+		t.Errorf("AES TableBytes = %d", got)
+	}
+	if got := (ARC4{}).TableBytes(); got != 256 {
+		t.Errorf("ARC4 TableBytes = %d", got)
+	}
+	if got := (Blowfish{}).TableBytes(); got != 72+4096 {
+		t.Errorf("Blowfish TableBytes = %d", got)
+	}
+	for _, k := range All() {
+		if k.TableBytes() <= 0 || k.Name() == "" {
+			t.Errorf("%T: bad metadata", k)
+		}
+	}
+	if _, err := ByName("AES"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName must reject unknown kernels")
+	}
+}
+
+func TestBlowfishSetupDominatesLookups(t *testing.T) {
+	// The paper's explanation for Fig. 9's Blowfish outlier: the key
+	// setup's DS visits vastly outnumber a few blocks' encryptions.
+	m := cryptoMachine(0)
+	e := newSimEnv(m, ct.Direct{}, "bf", blowfishTables())
+	key := make([]byte, 16)
+	bfExpandKey(e, key)
+	setupLoads := m.C.Loads
+	// 521 encryptions x 16 rounds x 4 S lookups ≈ 33k secret loads.
+	if setupLoads < 30000 {
+		t.Fatalf("blowfish setup did %d loads, expected >30k", setupLoads)
+	}
+}
+
+func TestAESDecryptKnownAnswer(t *testing.T) {
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f")
+	ct136, _ := hex.DecodeString("69c4e0d86a7b0430d8cdb78070b4c55a")
+	got := hex.EncodeToString(aesDecryptKAT(key, ct136))
+	if got != "00112233445566778899aabbccddeeff" {
+		t.Fatalf("AES decrypt KAT = %s", got)
+	}
+}
+
+func TestAESEncryptDecryptRoundTripProperty(t *testing.T) {
+	for i := 0; i < 16; i++ {
+		key := make([]byte, 16)
+		pt := make([]byte, 16)
+		for j := range key {
+			key[j] = byte(i*31 + j*7)
+			pt[j] = byte(i*13 + j*11 + 5)
+		}
+		ct136 := aesEncryptKAT(key, pt)
+		back := aesDecryptKAT(key, ct136)
+		if hex.EncodeToString(back) != hex.EncodeToString(pt) {
+			t.Fatalf("roundtrip %d failed", i)
+		}
+	}
+}
+
+func TestAESInvSBoxInverts(t *testing.T) {
+	sb := aesSBox()
+	isb := aesInvSBox()
+	for i := 0; i < 256; i++ {
+		if isb[sb[i]] != byte(i) {
+			t.Fatalf("inverse sbox broken at %d", i)
+		}
+	}
+}

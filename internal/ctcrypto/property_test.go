@@ -1,0 +1,143 @@
+package ctcrypto
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ctbia/internal/cache"
+	"ctbia/internal/ct"
+)
+
+// Property tests: the Feistel-style kernels invert for arbitrary keys
+// and blocks, AES en/decrypt consistency is covered by the FIPS KAT,
+// and every kernel is deterministic under its seed.
+
+func TestBlowfishRoundTripProperty(t *testing.T) {
+	f := func(k1, k2 uint64, l, r uint32) bool {
+		key := make([]byte, 16)
+		for i := 0; i < 8; i++ {
+			key[i] = byte(k1 >> (8 * i))
+			key[8+i] = byte(k2 >> (8 * i))
+		}
+		gl, gr := bfRoundTrip(key, l, r)
+		return gl == l && gr == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCASTRoundTripProperty(t *testing.T) {
+	f := func(k1, k2 uint64, l, r uint32) bool {
+		key := make([]byte, 16)
+		for i := 0; i < 8; i++ {
+			key[i] = byte(k1 >> (8 * i))
+			key[8+i] = byte(k2 >> (8 * i))
+		}
+		gl, gr := castRoundTrip(key, l, r)
+		return gl == l && gr == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDESRoundTripProperty(t *testing.T) {
+	f := func(key, block uint64) bool {
+		return desRoundTrip(key, block) == block
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRC2RoundTripProperty(t *testing.T) {
+	f := func(k1, k2 uint64, b0, b1, b2, b3 uint16) bool {
+		key := make([]byte, 16)
+		for i := 0; i < 8; i++ {
+			key[i] = byte(k1 >> (8 * i))
+			key[8+i] = byte(k2 >> (8 * i))
+		}
+		blk := [4]uint16{b0, b1, b2, b3}
+		return rc2RoundTrip(key, blk) == blk
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXORInvolutionProperty(t *testing.T) {
+	f := func(key [16]byte, data [24]byte) bool {
+		k := key[:]
+		if allZero(k) {
+			k = []byte{1}
+		}
+		got := xorRoundTrip(k, data[:])
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func allZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKernelsDeterministic(t *testing.T) {
+	p := Params{Blocks: 4, Seed: 99}
+	for _, k := range All() {
+		if k.Reference(p) != k.Reference(p) {
+			t.Errorf("%s: reference not deterministic", k.Name())
+		}
+		a := cryptoMachine(1)
+		b := cryptoMachine(1)
+		if k.Run(a, ct.BIA{}, p) != k.Run(b, ct.BIA{}, p) {
+			t.Errorf("%s: simulated run not deterministic", k.Name())
+		}
+		if a.Report().Cycles != b.Report().Cycles {
+			t.Errorf("%s: timing not deterministic", k.Name())
+		}
+	}
+}
+
+// countingListener accumulates a canonical key of attacker-visible
+// cache events.
+type countingListener struct{ b strings.Builder }
+
+func (c *countingListener) CacheEvent(ev cache.Event) {
+	if ev.Probe {
+		return
+	}
+	fmt.Fprintf(&c.b, "%d%v%x%v;", ev.Level, ev.Kind, uint64(ev.Line), ev.Write)
+}
+
+func TestKernelTraceIndependence(t *testing.T) {
+	// Protected kernels must have key/plaintext-independent footprints.
+	// (Their access patterns may legally depend on the PUBLIC table
+	// geometry; only the secret-derived indices must not show.)
+	for _, k := range All() {
+		trace := func(seed int64) string {
+			m := cryptoMachine(1)
+			rec := &countingListener{}
+			m.Hier.Subscribe(rec)
+			k.Run(m, ct.BIA{}, Params{Blocks: 3, Seed: seed})
+			return rec.b.String()
+		}
+		if trace(1) != trace(2) {
+			t.Errorf("%s: protected trace depends on the secret", k.Name())
+		}
+	}
+}

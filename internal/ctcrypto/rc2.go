@@ -1,0 +1,167 @@
+package ctcrypto
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"math/rand"
+
+	"ctbia/internal/cpu"
+	"ctbia/internal/ct"
+)
+
+// ARC2 keeps RC2's structure (RFC 2268): a byte-permutation-driven key
+// expansion (PITABLE lookups indexed by key material — secret) followed
+// by sixteen 16-bit MIX rounds with two MASH rounds, where each MASH
+// step indexes the 64-word expanded-key table with low data bits —
+// another secret-indexed lookup. The PITABLE permutation is
+// seeded-synthetic (a random byte permutation; RFC 2268's is the digits
+// of pi — data, not structure). MIX/MASH are exactly invertible, so
+// the encrypt/decrypt round trip validates the kernel.
+type ARC2 struct{}
+
+// Name implements Kernel.
+func (ARC2) Name() string { return "ARC2" }
+
+// TableBytes implements Kernel.
+func (ARC2) TableBytes() int { return 256 + 64*4 }
+
+const (
+	rc2Pi = iota // 256-byte permutation
+	rc2K         // 64-entry expanded key (16-bit values in 4-byte slots)
+)
+
+func rc2Tables() []table {
+	rng := rand.New(rand.NewSource(0x42c2))
+	pi := make([]uint32, 256)
+	for i := range pi {
+		pi[i] = uint32(i)
+	}
+	rng.Shuffle(256, func(i, j int) { pi[i], pi[j] = pi[j], pi[i] })
+	return []table{
+		{"PITABLE", 1, pi},
+		{"K", 4, make([]uint32, 64)},
+	}
+}
+
+// rc2Expand runs the RFC 2268 forward key expansion: L[i] =
+// PITABLE[L[i-1] + L[i-len]], filling 128 bytes, then packs the 64
+// little-endian 16-bit round keys into the K table. (The
+// effective-key-bits clamp is omitted; it only rewrites a suffix with
+// more PITABLE lookups of the same pattern.)
+func rc2Expand(e env, key []byte) {
+	var l [128]uint32
+	for i, b := range key {
+		l[i] = uint32(b)
+	}
+	for i := len(key); i < 128; i++ {
+		e.op(3)
+		l[i] = e.ld(rc2Pi, (l[i-1]+l[i-len(key)])&0xff)
+	}
+	for i := 0; i < 64; i++ {
+		e.op(2)
+		e.pst(rc2K, uint32(i), l[2*i]|l[2*i+1]<<8)
+	}
+}
+
+var rc2Rot = [4]int{1, 2, 3, 5}
+
+// rc2Mix is one MIX round (j is the round index 0..15): pure 16-bit
+// arithmetic on the block words, public K indices.
+func rc2Mix(e env, x *[4]uint16, j int) {
+	for i := 0; i < 4; i++ {
+		e.op(6)
+		k := uint16(e.pld(rc2K, uint32(4*j+i)))
+		x[i] = x[i] + k + (x[(i+3)&3] & x[(i+2)&3]) + (^x[(i+3)&3] & x[(i+1)&3])
+		x[i] = bits.RotateLeft16(x[i], rc2Rot[i])
+	}
+}
+
+func rc2MixInv(e env, x *[4]uint16, j int) {
+	for i := 3; i >= 0; i-- {
+		e.op(6)
+		k := uint16(e.pld(rc2K, uint32(4*j+i)))
+		x[i] = bits.RotateLeft16(x[i], -rc2Rot[i])
+		x[i] = x[i] - k - (x[(i+3)&3] & x[(i+2)&3]) - (^x[(i+3)&3] & x[(i+1)&3])
+	}
+}
+
+// rc2Mash is one MASH round: the K index is the low 6 bits of a data
+// word — the secret-dependent lookup of this cipher.
+func rc2Mash(e env, x *[4]uint16) {
+	for i := 0; i < 4; i++ {
+		e.op(3)
+		x[i] += uint16(e.ld(rc2K, uint32(x[(i+3)&3]&63)))
+	}
+}
+
+func rc2MashInv(e env, x *[4]uint16) {
+	for i := 3; i >= 0; i-- {
+		e.op(3)
+		x[i] -= uint16(e.ld(rc2K, uint32(x[(i+3)&3]&63)))
+	}
+}
+
+func rc2Encrypt(e env, x *[4]uint16) {
+	j := 0
+	for r := 0; r < 16; r++ {
+		rc2Mix(e, x, j)
+		j++
+		if r == 4 || r == 10 {
+			rc2Mash(e, x)
+		}
+	}
+}
+
+func rc2Decrypt(e env, x *[4]uint16) {
+	j := 15
+	for r := 15; r >= 0; r-- {
+		rc2MixInv(e, x, j)
+		j--
+		if r == 11 || r == 5 {
+			rc2MashInv(e, x)
+		}
+	}
+}
+
+func rc2Run(e env, p Params) uint64 {
+	rng := rand.New(rand.NewSource(p.Seed ^ 0xc2))
+	key := make([]byte, 16)
+	rng.Read(key)
+	rc2Expand(e, key)
+	h := newChecksum()
+	buf := make([]byte, 8)
+	for b := 0; b < p.Blocks; b++ {
+		rng.Read(buf)
+		var x [4]uint16
+		for i := range x {
+			x[i] = binary.LittleEndian.Uint16(buf[2*i:])
+		}
+		rc2Encrypt(e, &x)
+		var out [8]byte
+		for i := range x {
+			binary.LittleEndian.PutUint16(out[2*i:], x[i])
+		}
+		h.addBytes(out[:])
+	}
+	return h.sum()
+}
+
+// Run implements Kernel.
+func (ARC2) Run(m *cpu.Machine, strat ct.Strategy, p Params) uint64 {
+	return rc2Run(newSimEnv(m, strat, "arc2", rc2Tables()), p)
+}
+
+// Reference implements Kernel.
+func (ARC2) Reference(p Params) uint64 {
+	return rc2Run(newRefEnv(rc2Tables()), p)
+}
+
+// rc2RoundTrip exposes encrypt-then-decrypt for the structural test.
+func rc2RoundTrip(key []byte, block [4]uint16) [4]uint16 {
+	e := newRefEnv(rc2Tables())
+	rc2Expand(e, key)
+	x := block
+	rc2Encrypt(e, &x)
+	rc2Decrypt(e, &x)
+	return x
+}

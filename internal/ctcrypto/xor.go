@@ -1,0 +1,75 @@
+package ctcrypto
+
+import (
+	"math/rand"
+
+	"ctbia/internal/cpu"
+	"ctbia/internal/ct"
+)
+
+// XOR is the suite's trivial baseline cipher: each input byte is XORed
+// with a translation-table entry selected by a secret key byte, so the
+// only side-channel-relevant accesses are 256-entry table lookups
+// (DS = 1 KiB). Applying the cipher twice is the identity, which the
+// tests exploit as a round-trip check.
+type XOR struct{}
+
+// Name implements Kernel.
+func (XOR) Name() string { return "XOR" }
+
+// TableBytes implements Kernel.
+func (XOR) TableBytes() int { return 256 * 4 }
+
+const xorT = 0
+
+func xorTables() []table {
+	rng := rand.New(rand.NewSource(0x5e11))
+	t := make([]uint32, 256)
+	for i := range t {
+		t[i] = rng.Uint32()
+	}
+	return []table{{"T", 4, t}}
+}
+
+// xorProcess en/decrypts data in place (the operation is an involution).
+func xorProcess(e env, key, data []byte) {
+	for i := range data {
+		e.op(3)
+		k := key[i%len(key)]
+		data[i] ^= byte(e.ld(xorT, uint32(k)) >> uint((i%4)*8))
+	}
+}
+
+func xorRun(e env, p Params) uint64 {
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x08))
+	key := make([]byte, 16)
+	rng.Read(key)
+	h := newChecksum()
+	buf := make([]byte, 16)
+	for b := 0; b < p.Blocks; b++ {
+		rng.Read(buf)
+		xorProcess(e, key, buf)
+		h.addBytes(buf)
+	}
+	return h.sum()
+}
+
+// Run implements Kernel.
+func (XOR) Run(m *cpu.Machine, strat ct.Strategy, p Params) uint64 {
+	return xorRun(newSimEnv(m, strat, "xor", xorTables()), p)
+}
+
+// Reference implements Kernel.
+func (XOR) Reference(p Params) uint64 {
+	return xorRun(newRefEnv(xorTables()), p)
+}
+
+// xorRoundTrip exposes the involution property for tests.
+func xorRoundTrip(key, data []byte) []byte {
+	e := newRefEnv(xorTables())
+	out := make([]byte, len(data))
+	copy(out, data)
+	xorProcess(e, key, out)
+	xorProcess(e, key, out)
+	return out
+}

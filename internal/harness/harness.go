@@ -1,0 +1,165 @@
+// Package harness defines and runs the reproduction experiments: one
+// registered experiment per table and figure in the paper's evaluation,
+// plus ablations for the design choices DESIGN.md calls out. Each
+// experiment produces a rendered table; cmd/ctbench is the CLI front
+// end and bench_test.go wraps them as Go benchmarks.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	// ID is the experiment identifier ("fig7a", "motivation", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Paper states the expectation from the paper, for side-by-side
+	// reading with the measured rows.
+	Paper string
+	// Headers and Rows are the measured data.
+	Headers []string
+	Rows    [][]string
+	// Notes carry caveats (model differences, scaled workloads).
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Paper != "" {
+		fmt.Fprintf(&b, "paper: %s\n", t.Paper)
+	}
+	width := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Options tune experiment scale.
+type Options struct {
+	// Quick shrinks problem sizes for fast runs (tests, smoke checks).
+	Quick bool
+}
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper is the expected shape per the paper.
+	Paper string
+	// Run executes the experiment.
+	Run func(o Options) *Table
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// canonicalOrder lists the experiments paper-first, ablations after;
+// anything unlisted sorts to the end in registration order.
+var canonicalOrder = []string{
+	"config", "table2", "fig2", "motivation",
+	"fig7a", "fig7b", "fig7c", "fig7d", "fig7e",
+	"fig8", "fig9", "fig10",
+	"placement", "threshold", "biasize", "pinning", "llcbia",
+	"replacement", "contention", "crosscore", "relatedwork",
+}
+
+func orderOf(id string) int {
+	for i, c := range canonicalOrder {
+		if c == id {
+			return i
+		}
+	}
+	return len(canonicalOrder)
+}
+
+// Experiments returns all registered experiments, paper figures first,
+// then the ablations.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return orderOf(out[i].ID) < orderOf(out[j].ID) })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (try: %s)", id, strings.Join(IDs(), ", "))
+}
+
+// IDs lists the registered experiment identifiers in canonical order.
+func IDs() []string {
+	exps := Experiments()
+	out := make([]string, len(exps))
+	for i, e := range exps {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// ratio formats a/b as a multiplier.
+func ratio(a, b uint64) string {
+	if b == 0 {
+		if a == 0 {
+			return "1.00x"
+		}
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", float64(a)/float64(b))
+}
+
+// count formats an integer with thousands separators.
+func count(v uint64) string {
+	s := fmt.Sprintf("%d", v)
+	var b strings.Builder
+	for i, c := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			b.WriteByte(',')
+		}
+		b.WriteRune(c)
+	}
+	return b.String()
+}

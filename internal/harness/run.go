@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"fmt"
+
+	"ctbia/internal/cpu"
+	"ctbia/internal/ct"
+	"ctbia/internal/ctcrypto"
+	"ctbia/internal/workloads"
+)
+
+// MachineFor builds a Table 1 machine with the BIA at the given level
+// (0 = no BIA, for the insecure and software-CT runs).
+func MachineFor(biaLevel int) *cpu.Machine {
+	cfg := cpu.DefaultConfig()
+	cfg.BIALevel = biaLevel
+	return cpu.New(cfg)
+}
+
+// RunWorkload executes one workload under one strategy on a fresh
+// Table 1 machine, verifies the result against the pure-Go reference
+// (an experiment with a wrong answer must never be reported), and
+// returns the machine's report.
+func RunWorkload(w workloads.Workload, p workloads.Params, s ct.Strategy, biaLevel int) cpu.Report {
+	m := MachineFor(biaLevel)
+	got := w.Run(m, s, p)
+	if want := w.Reference(p); got != want {
+		panic(fmt.Sprintf("harness: %s/%s produced checksum %#x, reference %#x — simulator bug",
+			w.Name(), s.Name(), got, want))
+	}
+	return m.Report()
+}
+
+// RunKernel is RunWorkload for the crypto kernels.
+func RunKernel(k ctcrypto.Kernel, p ctcrypto.Params, s ct.Strategy, biaLevel int) cpu.Report {
+	m := MachineFor(biaLevel)
+	got := k.Run(m, s, p)
+	if want := k.Reference(p); got != want {
+		panic(fmt.Sprintf("harness: %s/%s produced checksum %#x, reference %#x — simulator bug",
+			k.Name(), s.Name(), got, want))
+	}
+	return m.Report()
+}
+
+// strategyRuns couples the paper's three compared configurations.
+type strategyRuns struct {
+	insecure cpu.Report
+	biaL1    cpu.Report
+	biaL2    cpu.Report
+	linear   cpu.Report
+}
+
+func runAllStrategies(w workloads.Workload, p workloads.Params) strategyRuns {
+	return strategyRuns{
+		insecure: RunWorkload(w, p, ct.Direct{}, 0),
+		biaL1:    RunWorkload(w, p, ct.BIA{}, 1),
+		biaL2:    RunWorkload(w, p, ct.BIA{}, 2),
+		linear:   RunWorkload(w, p, ct.Linear{}, 0),
+	}
+}

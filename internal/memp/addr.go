@@ -1,0 +1,97 @@
+// Package memp models the simulated physical address space: address
+// arithmetic at cache-line and page granularity, a sparse paged backing
+// store, and a bump allocator for carving named regions out of the space.
+//
+// The geometry follows the paper: 64-byte cache lines and 4096-byte pages,
+// so one page covers exactly 64 lines and a page's line occupancy fits in a
+// 64-bit bitmap — the invariant the BIA hardware structure is built on.
+package memp
+
+import "fmt"
+
+// Geometry constants shared by the whole simulator.
+const (
+	// LineShift is log2 of the cache line size.
+	LineShift = 6
+	// LineSize is the cache line size in bytes (64, per the paper's
+	// threat model: attacks are at cache-line granularity).
+	LineSize = 1 << LineShift
+	// LineMask extracts the offset within a line.
+	LineMask = LineSize - 1
+
+	// PageShift is log2 of the page size.
+	PageShift = 12
+	// PageSize is the page size in bytes. One page is the BIA management
+	// granularity M=12 from the paper.
+	PageSize = 1 << PageShift
+	// PageMask extracts the offset within a page.
+	PageMask = PageSize - 1
+
+	// LinesPerPage is the number of cache lines per page (64), which is
+	// why a single 64-bit word can describe a page's existence or
+	// dirtiness in the BIA.
+	LinesPerPage = PageSize / LineSize
+)
+
+// Addr is a simulated physical address.
+type Addr uint64
+
+// Line returns the address of the cache line containing a.
+func (a Addr) Line() Addr { return a &^ LineMask }
+
+// LineIndex returns the global line number of a (address / 64).
+func (a Addr) LineIndex() uint64 { return uint64(a) >> LineShift }
+
+// Offset returns the byte offset of a within its cache line.
+func (a Addr) Offset() uint64 { return uint64(a) & LineMask }
+
+// Page returns the base address of the page containing a.
+func (a Addr) Page() Addr { return a &^ PageMask }
+
+// PageIndex returns the page number of a (address / 4096). This is the
+// tag stored in a BIA entry.
+func (a Addr) PageIndex() uint64 { return uint64(a) >> PageShift }
+
+// PageOffset returns the byte offset of a within its page — the 12 low
+// bits that are identical between virtual and physical addresses, which
+// is what lets the paper's algorithms build bitmasks from virtual
+// addresses.
+func (a Addr) PageOffset() uint64 { return uint64(a) & PageMask }
+
+// LineInPage returns which of the page's 64 lines contains a (0..63).
+// This is the bit position of a's line in a BIA bitmap.
+func (a Addr) LineInPage() uint { return uint((uint64(a) >> LineShift) & (LinesPerPage - 1)) }
+
+// String formats the address in hex, matching the paper's examples.
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+// LineOf reconstructs a line address from a page base and a line slot
+// (0..63) within the page. It is the hardware-side inverse of
+// Addr.LineInPage and the first two terms of the paper's generateAddrs
+// formula: page[63:12] + i<<6.
+func LineOf(page Addr, slot uint) Addr {
+	return page.Page() + Addr(uint64(slot)<<LineShift)
+}
+
+// GenAddr implements the full generateAddrs formula from the paper:
+//
+//	address = page[63:12] + i<<6 + target[5:0]
+//
+// i.e. the line slot within the page plus the byte offset the original
+// (secret) access used within its line.
+func GenAddr(page Addr, slot uint, target Addr) Addr {
+	return LineOf(page, slot) + Addr(target.Offset())
+}
+
+// GenAddrAt is GenAddr for an arbitrary chunk base (any 2^M-aligned
+// base with M > LineShift): no page truncation is applied, supporting
+// the Sec. 6.4 generalized DS-management granularity.
+func GenAddrAt(base Addr, slot uint, target Addr) Addr {
+	return base + Addr(uint64(slot)<<LineShift) + Addr(target.Offset())
+}
+
+// SamePage reports whether two addresses live in the same page.
+func SamePage(a, b Addr) bool { return a.PageIndex() == b.PageIndex() }
+
+// SameLine reports whether two addresses live in the same cache line.
+func SameLine(a, b Addr) bool { return a.LineIndex() == b.LineIndex() }

@@ -1,0 +1,90 @@
+package memp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryConstants(t *testing.T) {
+	if LineSize != 64 {
+		t.Fatalf("LineSize = %d, want 64", LineSize)
+	}
+	if PageSize != 4096 {
+		t.Fatalf("PageSize = %d, want 4096", PageSize)
+	}
+	if LinesPerPage != 64 {
+		t.Fatalf("LinesPerPage = %d, want 64 (so a page bitmap fits in uint64)", LinesPerPage)
+	}
+}
+
+func TestAddrDecomposition(t *testing.T) {
+	// The paper's running example: load address 0x1048.
+	a := Addr(0x1048)
+	if got := a.Line(); got != 0x1040 {
+		t.Errorf("Line() = %v, want 0x1040", got)
+	}
+	if got := a.Offset(); got != 0x8 {
+		t.Errorf("Offset() = %#x, want 0x8", got)
+	}
+	if got := a.Page(); got != 0x1000 {
+		t.Errorf("Page() = %v, want 0x1000", got)
+	}
+	if got := a.PageIndex(); got != 1 {
+		t.Errorf("PageIndex() = %d, want 1", got)
+	}
+	if got := a.LineInPage(); got != 1 {
+		t.Errorf("LineInPage() = %d, want 1", got)
+	}
+	if got := a.PageOffset(); got != 0x48 {
+		t.Errorf("PageOffset() = %#x, want 0x48", got)
+	}
+}
+
+func TestGenAddrMatchesPaperFormula(t *testing.T) {
+	// generateAddrs: address = page[63:12] + i<<6 + target[5:0].
+	page := Addr(0x1000)
+	target := Addr(0x1048) // offset 8 within its line
+	cases := []struct {
+		slot uint
+		want Addr
+	}{
+		{0, 0x1008},
+		{1, 0x1048},
+		{2, 0x1088},
+		{3, 0x10c8},
+		{4, 0x1108},
+	}
+	for _, c := range cases {
+		if got := GenAddr(page, c.slot, target); got != c.want {
+			t.Errorf("GenAddr(slot=%d) = %v, want %v", c.slot, got, c.want)
+		}
+	}
+}
+
+func TestAddrRoundTripProperty(t *testing.T) {
+	// Reconstructing an address from its page, line slot and offset must
+	// be the identity, for any address.
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		rebuilt := LineOf(a.Page(), a.LineInPage()) + Addr(a.Offset())
+		return rebuilt == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamePageSameLine(t *testing.T) {
+	if !SamePage(0x1000, 0x1fff) || SamePage(0x1fff, 0x2000) {
+		t.Error("SamePage boundary wrong")
+	}
+	if !SameLine(0x1040, 0x107f) || SameLine(0x107f, 0x1080) {
+		t.Error("SameLine boundary wrong")
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if got := Addr(0x10c8).String(); got != "0x10c8" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,126 @@
+package memp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryZeroFill(t *testing.T) {
+	m := NewMemory()
+	if got := m.Read64(0x1234); got != 0 {
+		t.Fatalf("untouched memory reads %#x, want 0", got)
+	}
+	buf := make([]byte, 128)
+	m.Read(0xfff0, buf) // spans a page boundary of untouched memory
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestMemoryWordRoundTrip(t *testing.T) {
+	m := NewMemory()
+	m.Write64(0x2000, 0x1122334455667788)
+	if got := m.Read64(0x2000); got != 0x1122334455667788 {
+		t.Fatalf("Read64 = %#x", got)
+	}
+	// Little-endian layout.
+	if got := m.Read8(0x2000); got != 0x88 {
+		t.Fatalf("low byte = %#x, want 0x88", got)
+	}
+	m.Write32(0x2010, 0xdeadbeef)
+	if got := m.Read32(0x2010); got != 0xdeadbeef {
+		t.Fatalf("Read32 = %#x", got)
+	}
+	m.Write16(0x2020, 0xabcd)
+	if got := m.Read16(0x2020); got != 0xabcd {
+		t.Fatalf("Read16 = %#x", got)
+	}
+}
+
+func TestMemoryCrossPageWrite(t *testing.T) {
+	m := NewMemory()
+	src := make([]byte, 100)
+	for i := range src {
+		src[i] = byte(i + 1)
+	}
+	base := Addr(PageSize - 50) // straddles the first page boundary
+	m.Write(base, src)
+	dst := make([]byte, 100)
+	m.Read(base, dst)
+	if !bytes.Equal(src, dst) {
+		t.Fatal("cross-page round trip mismatch")
+	}
+	if got := m.TouchedPages(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("TouchedPages = %v, want [0 1]", got)
+	}
+}
+
+func TestMemoryUnalignedWordProperty(t *testing.T) {
+	m := NewMemory()
+	f := func(raw uint32, v uint64) bool {
+		addr := Addr(raw) // arbitrary alignment
+		m.Write64(addr, v)
+		return m.Read64(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocatorPageAlignmentAndOrder(t *testing.T) {
+	a := NewAllocator()
+	r1 := a.Alloc("in", 100)
+	r2 := a.Alloc("out", PageSize+1)
+	r3 := a.AllocLines("tab", 3)
+
+	for _, r := range []Region{r1, r2, r3} {
+		if r.Base.PageOffset() != 0 {
+			t.Errorf("region %q base %v not page aligned", r.Name, r.Base)
+		}
+	}
+	if r1.Base != AllocBase {
+		t.Errorf("first region at %v, want %v", r1.Base, AllocBase)
+	}
+	if r2.Base != r1.Base+PageSize {
+		t.Errorf("second region at %v, want one page after first", r2.Base)
+	}
+	if r3.Base != r2.Base+2*PageSize {
+		t.Errorf("third region at %v, want two pages after second (size %d)", r3.Base, r2.Size)
+	}
+	if r3.Size != 3*LineSize {
+		t.Errorf("AllocLines size = %d, want %d", r3.Size, 3*LineSize)
+	}
+}
+
+func TestAllocatorLookup(t *testing.T) {
+	a := NewAllocator()
+	r := a.Alloc("table", 256)
+	if got, ok := a.Lookup(r.Base + 10); !ok || got.Name != "table" {
+		t.Fatalf("Lookup inside = %v,%v", got, ok)
+	}
+	if _, ok := a.Lookup(r.Base + 300); ok {
+		t.Fatal("Lookup past region size should miss even within the page")
+	}
+	if got := a.MustRegion("table"); got.Base != r.Base {
+		t.Fatal("MustRegion mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegion on unknown name should panic")
+		}
+	}()
+	a.MustRegion("nope")
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Name: "x", Base: 0x10000, Size: 64}
+	if !r.Contains(0x10000) || !r.Contains(0x1003f) {
+		t.Error("Contains endpoints wrong")
+	}
+	if r.Contains(0x10040) || r.Contains(0xffff) {
+		t.Error("Contains exclusive bound wrong")
+	}
+}

@@ -1,0 +1,130 @@
+package workloads
+
+import (
+	"ctbia/internal/cpu"
+	"ctbia/internal/ct"
+	"ctbia/internal/memp"
+)
+
+// BinarySearch performs fixed-depth binary searches for secret keys in
+// a sorted array. Every probe address depends on earlier comparisons
+// against the secret key, so the probe sequence leaks the comparison
+// trace; the DS is the whole array (paper Table 2).
+type BinarySearch struct{}
+
+// defaultQueries is the number of secret lookups when Params.Ops is 0.
+const defaultQueries = 64
+
+// Name implements Workload.
+func (BinarySearch) Name() string { return "binarysearch" }
+
+// Leakage implements Workload.
+func (BinarySearch) Leakage() string {
+	return "Accesses to elements in array leak comparison trace"
+}
+
+// DSDescription implements Workload.
+func (BinarySearch) DSDescription() string { return "O(length_of_array)" }
+
+// DSLines implements Workload.
+func (BinarySearch) DSLines(p Params) int {
+	return (p.Size*elem + memp.LineSize - 1) / memp.LineSize
+}
+
+func (BinarySearch) queries(p Params) []uint32 {
+	q := p.Ops
+	if q <= 0 {
+		q = defaultQueries
+	}
+	rng := secretRNG(p)
+	out := make([]uint32, q)
+	for i := range out {
+		out[i] = uint32(rng.Intn(2*p.Size + 1)) // hits and misses
+	}
+	return out
+}
+
+// searchSteps is the fixed iteration count: ceil(log2(n))+1 rounds
+// always run, eliminating the early-exit timing channel.
+func searchSteps(n int) int {
+	s := 1
+	for span := 1; span < n; span <<= 1 {
+		s++
+	}
+	return s
+}
+
+// fixedSearch runs the shared fixed-depth lower-bound loop; probe
+// abstracts the array access so the simulated kernel and the pure-Go
+// reference execute byte-identical logic. lo may reach n (key greater
+// than every element), in which case the padding rounds clamp the probe
+// to the last element without changing the result.
+func fixedSearch(n, steps int, probe func(mid int) uint32, key uint32,
+	sel func(pred bool, a, b int) int) int {
+	lo, hi := 0, n
+	for s := 0; s < steps; s++ {
+		mid := (lo + hi) / 2
+		if mid >= n {
+			mid = n - 1
+		}
+		v := probe(mid)
+		less := v < key
+		lo = sel(less, mid+1, lo)
+		hi = sel(less, hi, mid)
+		if lo > hi {
+			lo = hi // padding rounds keep the window empty, not inverted
+		}
+	}
+	return lo
+}
+
+// Run implements Workload.
+func (BinarySearch) Run(m *cpu.Machine, strat ct.Strategy, p Params) uint64 {
+	n := p.Size
+	arr := m.Alloc.Alloc("sorted", uint64(n*elem))
+	for i := 0; i < n; i++ {
+		m.Mem.Write32(arr.Base+memp.Addr(i*elem), uint32(2*i+1)) // sorted odd values
+	}
+	ds := ct.FromRegion(arr)
+	steps := searchSteps(n)
+	warmStart(m, arr)
+
+	h := newChecksum()
+	for _, key := range (BinarySearch{}).queries(p) {
+		got := fixedSearch(n, steps,
+			func(mid int) uint32 {
+				m.Op(3) // midpoint, clamp cmov, addressing
+				return uint32(strat.Load(m, ds, arr.Base+memp.Addr(mid*elem), cpu.W32))
+			},
+			key,
+			func(pred bool, a, b int) int { return int(ct.SelectInt(m, pred, int64(a), int64(b))) },
+		)
+		h.addWord(uint32(got))
+	}
+	return h.sum()
+}
+
+// Reference implements Workload: the same fixed-depth search in pure Go.
+func (BinarySearch) Reference(p Params) uint64 {
+	n := p.Size
+	arr := make([]uint32, n)
+	for i := range arr {
+		arr[i] = uint32(2*i + 1)
+	}
+	steps := searchSteps(n)
+	h := newChecksum()
+	for _, key := range (BinarySearch{}).queries(p) {
+		got := fixedSearch(n, steps,
+			func(mid int) uint32 { return arr[mid] },
+			key,
+			func(pred bool, a, b int) int {
+				if pred {
+					return a
+				}
+				return b
+			},
+		)
+		h.addWord(uint32(got))
+	}
+	return h.sum()
+}

@@ -1,0 +1,151 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ctbia/internal/cpu"
+	"ctbia/internal/ct"
+	"ctbia/internal/memp"
+)
+
+// Dijkstra is single-source shortest paths on a complete weighted graph
+// whose weights are the secret. Each iteration selects the unvisited
+// vertex u with minimum distance — u is secret — and then reads the
+// adjacency row of u and marks visited[u]: both accesses leak u, i.e.
+// the graph structure, through the cache (paper Table 2).
+//
+// The adjacency row fetch is protected as one oblivious block gather
+// over the whole matrix (DS = O(V^2)); visited[u] is a protected store
+// with DS = the visited array.
+type Dijkstra struct{}
+
+// distInf is the unreachable sentinel.
+const distInf = uint32(1) << 30
+
+// Name implements Workload.
+func (Dijkstra) Name() string { return "dijkstra" }
+
+// Leakage implements Workload.
+func (Dijkstra) Leakage() string {
+	return "Access to not-yet-selected vertex with minimum distance to source vertex in each iteration leaks graph structure"
+}
+
+// DSDescription implements Workload.
+func (Dijkstra) DSDescription() string { return "O(number_of_Vertices^2)" }
+
+// DSLines implements Workload.
+func (Dijkstra) DSLines(p Params) int { return p.Size * p.Size * elem / memp.LineSize }
+
+// genWeights produces the secret complete graph: weights 1..255,
+// zero diagonal.
+func (Dijkstra) genWeights(p Params) []uint32 {
+	rng := secretRNG(p)
+	v := p.Size
+	adj := make([]uint32, v*v)
+	for i := 0; i < v; i++ {
+		for j := 0; j < v; j++ {
+			if i != j {
+				adj[i*v+j] = uint32(1 + rng.Intn(255))
+			}
+		}
+	}
+	return adj
+}
+
+// Run implements Workload.
+func (Dijkstra) Run(m *cpu.Machine, strat ct.Strategy, p Params) uint64 {
+	v := p.Size
+	if v%16 != 0 {
+		panic(fmt.Sprintf("dijkstra: vertex count %d must be a multiple of 16 (line-aligned rows)", v))
+	}
+	rowLines := v * elem / memp.LineSize
+
+	adj := m.Alloc.Alloc("adj", uint64(v*v*elem))
+	dist := m.Alloc.Alloc("dist", uint64(v*elem))
+	vis := m.Alloc.Alloc("visited", uint64(v*elem))
+	for i, w := range (Dijkstra{}).genWeights(p) {
+		m.Mem.Write32(adj.Base+memp.Addr(i*elem), w)
+	}
+	for i := 0; i < v; i++ {
+		d := distInf
+		if i == 0 {
+			d = 0
+		}
+		m.Mem.Write32(dist.Base+memp.Addr(i*elem), d)
+	}
+	dsAdj := ct.FromRegion(adj)
+	dsVis := ct.FromRegion(vis)
+	warmStart(m, adj, dist, vis)
+
+	for iter := 0; iter < v; iter++ {
+		// Select the unvisited vertex with minimum distance. The
+		// scan's addresses are public (sequential); only the selected
+		// index u is secret, kept via branch-free updates.
+		u, best := 0, distInf+1
+		for i := 0; i < v; i++ {
+			m.OpStream(2) // loop + addressing
+			d := uint32(m.LoadModeW(dist.Base+memp.Addr(i*elem), cpu.W32, cpu.ModeStreaming))
+			vi := uint32(m.LoadModeW(vis.Base+memp.Addr(i*elem), cpu.W32, cpu.ModeStreaming))
+			m.OpStream(4) // unvisited test, compare, two cmovs
+			take := vi == 0 && d < best
+			if take {
+				best, u = d, i
+			}
+		}
+		// visited[u] = 1: secret-indexed store, DS = visited array.
+		strat.Store(m, dsVis, vis.Base+memp.Addr(u*elem), 1, cpu.W32)
+		// Fetch adjacency row u obliviously: DS = whole matrix.
+		row := strat.LoadBlock(m, dsAdj, adj.Base+memp.Addr(u*v*elem), rowLines)
+		// Relax all edges; dist accesses use public indices, values
+		// merged branch-free.
+		for j := 0; j < v; j++ {
+			m.OpStream(4) // loop, addressing, add, compare+cmov
+			w := binary.LittleEndian.Uint32(row[j*elem:])
+			nd := best + w
+			dj := uint32(m.LoadModeW(dist.Base+memp.Addr(j*elem), cpu.W32, cpu.ModeStreaming))
+			nv := dj
+			if nd < dj {
+				nv = nd
+			}
+			m.StoreModeW(dist.Base+memp.Addr(j*elem), uint64(nv), cpu.W32, cpu.ModeStreaming)
+		}
+	}
+
+	h := newChecksum()
+	for i := 0; i < v; i++ {
+		h.addWord(m.Mem.Read32(dist.Base + memp.Addr(i*elem)))
+	}
+	return h.sum()
+}
+
+// Reference implements Workload.
+func (Dijkstra) Reference(p Params) uint64 {
+	v := p.Size
+	adj := (Dijkstra{}).genWeights(p)
+	dist := make([]uint32, v)
+	vis := make([]bool, v)
+	for i := range dist {
+		dist[i] = distInf
+	}
+	dist[0] = 0
+	for iter := 0; iter < v; iter++ {
+		u, best := 0, distInf+1
+		for i := 0; i < v; i++ {
+			if !vis[i] && dist[i] < best {
+				best, u = dist[i], i
+			}
+		}
+		vis[u] = true
+		for j := 0; j < v; j++ {
+			if nd := best + adj[u*v+j]; nd < dist[j] {
+				dist[j] = nd
+			}
+		}
+	}
+	h := newChecksum()
+	for _, d := range dist {
+		h.addWord(d)
+	}
+	return h.sum()
+}

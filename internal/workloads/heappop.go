@@ -1,0 +1,162 @@
+package workloads
+
+import (
+	"sort"
+
+	"ctbia/internal/cpu"
+	"ctbia/internal/ct"
+	"ctbia/internal/memp"
+)
+
+// Heappop repeatedly extracts the maximum from a binary max-heap of
+// secret values. The sift-down path after each pop follows value
+// comparisons, so the touched indices leak the internal data (paper
+// Table 2); every heap access on the path is protected with DS = the
+// whole array.
+//
+// The heap is materialized during (untimed) setup; the benchmark is the
+// pop phase, whose sift-down runs a fixed depth with dummy writes so
+// the access count per pop is secret-independent.
+type Heappop struct{}
+
+// defaultPops is the number of extractions when Params.Ops is 0.
+const defaultPops = 128
+
+// Name implements Workload.
+func (Heappop) Name() string { return "heappop" }
+
+// Leakage implements Workload.
+func (Heappop) Leakage() string {
+	return "Heap adjusting procedure brings different access patterns with different internal data values"
+}
+
+// DSDescription implements Workload.
+func (Heappop) DSDescription() string { return "O(length_of_array)" }
+
+// DSLines implements Workload.
+func (Heappop) DSLines(p Params) int {
+	return (p.Size*elem + memp.LineSize - 1) / memp.LineSize
+}
+
+func (Heappop) pops(p Params) int {
+	n := p.Ops
+	if n <= 0 {
+		n = defaultPops
+	}
+	if n > p.Size {
+		n = p.Size
+	}
+	return n
+}
+
+// genHeap produces the secret values already arranged as a max-heap
+// (setup work, identical for every strategy).
+func (Heappop) genHeap(p Params) []uint32 {
+	rng := secretRNG(p)
+	h := make([]uint32, p.Size)
+	for i := range h {
+		h[i] = rng.Uint32() >> 1
+	}
+	// Floyd heapify.
+	for i := p.Size/2 - 1; i >= 0; i-- {
+		j := i
+		for {
+			c := 2*j + 1
+			if c >= p.Size {
+				break
+			}
+			if c+1 < p.Size && h[c+1] > h[c] {
+				c++
+			}
+			if h[j] >= h[c] {
+				break
+			}
+			h[j], h[c] = h[c], h[j]
+			j = c
+		}
+	}
+	return h
+}
+
+// heapDepth is the fixed sift-down depth for a heap of n elements.
+func heapDepth(n int) int {
+	d := 0
+	for span := 1; span <= n; span <<= 1 {
+		d++
+	}
+	return d
+}
+
+// Run implements Workload.
+func (Heappop) Run(m *cpu.Machine, strat ct.Strategy, p Params) uint64 {
+	n := p.Size
+	hreg := m.Alloc.Alloc("heap", uint64(n*elem))
+	for i, v := range (Heappop{}).genHeap(p) {
+		m.Mem.Write32(hreg.Base+memp.Addr(i*elem), v)
+	}
+	ds := ct.FromRegion(hreg)
+	at := func(i int) memp.Addr { return hreg.Base + memp.Addr(i*elem) }
+	depth := heapDepth(n)
+	warmStart(m, hreg)
+
+	h := newChecksum()
+	size := n
+	for pop := 0; pop < (Heappop{}).pops(p); pop++ {
+		// Root and last element are public indices (0 and size-1).
+		m.Op(2)
+		root := m.Load32(at(0))
+		last := m.Load32(at(size - 1))
+		size--
+		m.Store32(at(0), last)
+		h.addWord(root)
+		if size == 0 {
+			break
+		}
+		// Oblivious sift-down: fixed depth, the walked index i is
+		// secret after the first comparison, every level does its
+		// loads and (possibly dummy) stores unconditionally.
+		i := 0
+		for lvl := 0; lvl < depth; lvl++ {
+			m.Op(4) // child index arithmetic, clamps
+			l, r := 2*i+1, 2*i+2
+			lIn := l < size
+			rIn := r < size
+			lClamp := ct.SelectInt(m, lIn, int64(l), int64(size-1))
+			rClamp := ct.SelectInt(m, rIn, int64(r), int64(size-1))
+			iv := uint32(strat.Load(m, ds, at(i), cpu.W32))
+			lvRaw := uint32(strat.Load(m, ds, at(int(lClamp)), cpu.W32))
+			rvRaw := uint32(strat.Load(m, ds, at(int(rClamp)), cpu.W32))
+			// Out-of-range children act as minimal values in the
+			// comparison, but their memory keeps its raw content.
+			lv := ct.Select32(m, lIn, lvRaw, 0)
+			rv := ct.Select32(m, rIn, rvRaw, 0)
+			// Pick the larger in-range child.
+			rBigger := ct.LessCT(m, uint64(lv), uint64(rv))
+			c := int(ct.SelectInt(m, rBigger, rClamp, lClamp))
+			cv := ct.Select32(m, rBigger, rv, lv)
+			cvRaw := ct.Select32(m, rBigger, rvRaw, lvRaw)
+			// Swap iff the child beats the parent; otherwise write the
+			// original values back (dummy stores keep the footprint
+			// fixed without corrupting clamped slots).
+			doSwap := ct.LessCT(m, uint64(iv), uint64(cv))
+			strat.Store(m, ds, at(i), uint64(ct.Select32(m, doSwap, cv, iv)), cpu.W32)
+			strat.Store(m, ds, at(c), uint64(ct.Select32(m, doSwap, iv, cvRaw)), cpu.W32)
+			i = int(ct.SelectInt(m, doSwap, int64(c), int64(i)))
+		}
+	}
+	return h.sum()
+}
+
+// Reference implements Workload: the popped maxima are simply the
+// largest values in descending order.
+func (Heappop) Reference(p Params) uint64 {
+	vals := (Heappop{}).genHeap(p)
+	sorted := make([]uint32, len(vals))
+	copy(sorted, vals)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] > sorted[b] })
+	h := newChecksum()
+	for i := 0; i < (Heappop{}).pops(p); i++ {
+		h.addWord(sorted[i])
+	}
+	return h.sum()
+}

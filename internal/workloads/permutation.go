@@ -1,0 +1,76 @@
+package workloads
+
+import (
+	"ctbia/internal/cpu"
+	"ctbia/internal/ct"
+	"ctbia/internal/memp"
+)
+
+// Permutation applies a secret permutation: a[b[i]] = i. The index
+// b[i] is secret, so the store into a leaks it; the DS is the whole
+// output array a (paper Table 2).
+type Permutation struct{}
+
+// Name implements Workload.
+func (Permutation) Name() string { return "permutation" }
+
+// Leakage implements Workload.
+func (Permutation) Leakage() string { return "Permutation a[b[i]] = i exposes b[i]" }
+
+// DSDescription implements Workload.
+func (Permutation) DSDescription() string { return "O(length_of_array)" }
+
+// DSLines implements Workload.
+func (Permutation) DSLines(p Params) int {
+	return (p.Size*elem + memp.LineSize - 1) / memp.LineSize
+}
+
+// genPerm produces the secret permutation of 0..Size-1.
+func (Permutation) genPerm(p Params) []uint32 {
+	rng := secretRNG(p)
+	b := make([]uint32, p.Size)
+	for i := range b {
+		b[i] = uint32(i)
+	}
+	rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+	return b
+}
+
+// Run implements Workload.
+func (Permutation) Run(m *cpu.Machine, strat ct.Strategy, p Params) uint64 {
+	n := p.Size
+	bReg := m.Alloc.Alloc("b", uint64(n*elem))
+	aReg := m.Alloc.Alloc("a", uint64(n*elem))
+	for i, t := range (Permutation{}).genPerm(p) {
+		m.Mem.Write32(bReg.Base+memp.Addr(i*elem), t)
+	}
+	dsA := ct.FromRegion(aReg)
+	warmStart(m, bReg, aReg)
+
+	for i := 0; i < n; i++ {
+		m.Op(2)                                      // loop + addressing
+		t := m.Load32(bReg.Base + memp.Addr(i*elem)) // public index i
+		m.Op(1)                                      // target address generation
+		strat.Store(m, dsA, aReg.Base+memp.Addr(int(t)*elem), uint64(i), cpu.W32)
+	}
+
+	h := newChecksum()
+	for i := 0; i < n; i++ {
+		h.addWord(m.Mem.Read32(aReg.Base + memp.Addr(i*elem)))
+	}
+	return h.sum()
+}
+
+// Reference implements Workload.
+func (Permutation) Reference(p Params) uint64 {
+	n := p.Size
+	a := make([]uint32, n)
+	for i, t := range (Permutation{}).genPerm(p) {
+		a[t] = uint32(i)
+	}
+	h := newChecksum()
+	for _, v := range a {
+		h.addWord(v)
+	}
+	return h.sum()
+}

@@ -1,0 +1,98 @@
+// Package workloads implements the paper's benchmark programs (Table 2:
+// the Ghostrider programs with partially predictable or data-dependent
+// memory access patterns) on the simulated machine, each parameterized
+// by problem size and runnable under any mitigation strategy.
+//
+// Every workload places its inputs with untimed memory writes (setup),
+// runs its kernel with full cycle/instruction accounting, and returns a
+// checksum that must match a pure-Go reference implementation — the
+// functional ground truth for all strategies.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ctbia/internal/cpu"
+	"ctbia/internal/ct"
+	"ctbia/internal/memp"
+)
+
+// Params selects a workload instance.
+type Params struct {
+	// Size is the problem size: histogram bins, dijkstra vertices,
+	// array lengths.
+	Size int
+	// Seed generates the secret inputs deterministically.
+	Seed int64
+	// Ops caps the number of protected operations for workloads whose
+	// natural run length is independent of Size (binary-search
+	// queries, heap pops). Zero selects the workload default.
+	Ops int
+}
+
+// Workload is one benchmark program.
+type Workload interface {
+	// Name is the paper's program name ("histogram", ...).
+	Name() string
+	// Leakage describes the side channel, quoting Table 2.
+	Leakage() string
+	// DSDescription states the linearization-set size in Table 2 form.
+	DSDescription() string
+	// DSLines computes the concrete DS size in cache lines.
+	DSLines(p Params) int
+	// Run executes the kernel on m under strat and returns a checksum.
+	Run(m *cpu.Machine, strat ct.Strategy, p Params) uint64
+	// Reference computes the same checksum in pure Go.
+	Reference(p Params) uint64
+}
+
+// All returns the benchmark suite in the paper's order.
+func All() []Workload {
+	return []Workload{Dijkstra{}, Histogram{}, Permutation{}, BinarySearch{}, Heappop{}}
+}
+
+// ByName finds a workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// fnv1a64 hashes a stream of uint32 words (the standard checksum for
+// workload outputs).
+type fnv1a64 uint64
+
+func newChecksum() fnv1a64 { return 14695981039346656037 }
+
+func (h *fnv1a64) addWord(v uint32) {
+	x := uint64(*h)
+	for shift := 0; shift < 32; shift += 8 {
+		x ^= uint64(byte(v >> shift))
+		x *= 1099511628211
+	}
+	*h = fnv1a64(x)
+}
+
+func (h fnv1a64) sum() uint64 { return uint64(h) }
+
+// warmStart touches the given regions (untimed) and resets all machine
+// counters, so the kernel is measured from a warm, steady state: the
+// paper's programs walk their inputs during initialization, which is
+// outside the measured kernel.
+func warmStart(m *cpu.Machine, regs ...memp.Region) {
+	for _, r := range regs {
+		m.WarmRegion(r.Base, r.Size)
+	}
+	m.ResetStats()
+}
+
+// secretRNG builds the deterministic secret-input generator.
+func secretRNG(p Params) *rand.Rand { return rand.New(rand.NewSource(p.Seed ^ 0x5eed)) }
+
+// elem returns the byte size of the workloads' array element (int32,
+// matching the paper's C programs).
+const elem = 4

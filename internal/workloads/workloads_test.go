@@ -1,0 +1,182 @@
+package workloads
+
+import (
+	"testing"
+
+	"ctbia/internal/bia"
+	"ctbia/internal/cache"
+	"ctbia/internal/cpu"
+	"ctbia/internal/ct"
+)
+
+// testMachine builds a small machine; biaLevel 0 = no BIA.
+func testMachine(biaLevel int) *cpu.Machine {
+	return cpu.New(cpu.Config{
+		Levels: []cache.Config{
+			{Name: "L1d", Size: 16384, Ways: 4, Latency: 2},
+			{Name: "L2", Size: 262144, Ways: 8, Latency: 15},
+		},
+		DRAMLatency: 150,
+		BIA:         bia.Config{Entries: 32, Ways: 4, Latency: 1},
+		BIALevel:    biaLevel,
+	})
+}
+
+// sizes chosen small for test speed but multi-page DSes.
+func testParams(w Workload) Params {
+	switch w.(type) {
+	case Dijkstra:
+		return Params{Size: 32, Seed: 9}
+	case BinarySearch:
+		return Params{Size: 3000, Seed: 9, Ops: 12}
+	case Heappop:
+		return Params{Size: 3000, Seed: 9, Ops: 12}
+	default:
+		return Params{Size: 3000, Seed: 9}
+	}
+}
+
+func TestAllWorkloadsAllStrategiesMatchReference(t *testing.T) {
+	strategies := []struct {
+		s        ct.Strategy
+		biaLevel int
+	}{
+		{ct.Direct{}, 0},
+		{ct.Linear{}, 0},
+		{ct.LinearVec{}, 0},
+		{ct.BIA{}, 1},
+		{ct.BIA{}, 2},
+		{ct.BIA{Threshold: 16}, 1},
+	}
+	for _, w := range All() {
+		p := testParams(w)
+		want := w.Reference(p)
+		if want == 0 {
+			t.Fatalf("%s: degenerate reference checksum", w.Name())
+		}
+		for _, st := range strategies {
+			m := testMachine(st.biaLevel)
+			got := w.Run(m, st.s, p)
+			if got != want {
+				t.Errorf("%s/%s(biaL%d): checksum %#x, want %#x",
+					w.Name(), st.s.Name(), st.biaLevel, got, want)
+			}
+		}
+	}
+}
+
+func TestReferenceDependsOnSecret(t *testing.T) {
+	for _, w := range All() {
+		p := testParams(w)
+		p2 := p
+		p2.Seed = p.Seed + 1
+		if w.Reference(p) == w.Reference(p2) {
+			t.Errorf("%s: reference insensitive to the secret seed", w.Name())
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(All()) != 5 {
+		t.Fatalf("suite size = %d, want 5", len(All()))
+	}
+	for _, name := range []string{"dijkstra", "histogram", "permutation", "binarysearch", "heappop"} {
+		w, err := ByName(name)
+		if err != nil || w.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, w, err)
+		}
+		if w.Leakage() == "" || w.DSDescription() == "" {
+			t.Errorf("%s: missing Table 2 descriptions", name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName must reject unknown names")
+	}
+}
+
+func TestDSLines(t *testing.T) {
+	// Paper Sec. 7.3.2: dij_128's DS is 128*128*4 B = 64 KiB = 1024 lines.
+	if got := (Dijkstra{}).DSLines(Params{Size: 128}); got != 1024 {
+		t.Errorf("dijkstra DSLines(128) = %d, want 1024", got)
+	}
+	// Paper Sec. 3: histogram with 1000 bins ≈ 1000*4/64 lines.
+	if got := (Histogram{}).DSLines(Params{Size: 1000}); got != 63 {
+		t.Errorf("histogram DSLines(1000) = %d, want 63", got)
+	}
+	if got := (Permutation{}).DSLines(Params{Size: 1024}); got != 64 {
+		t.Errorf("permutation DSLines = %d", got)
+	}
+	if got := (BinarySearch{}).DSLines(Params{Size: 1024}); got != 64 {
+		t.Errorf("binarysearch DSLines = %d", got)
+	}
+	if got := (Heappop{}).DSLines(Params{Size: 1024}); got != 64 {
+		t.Errorf("heappop DSLines = %d", got)
+	}
+}
+
+func TestDijkstraRejectsUnalignedSizes(t *testing.T) {
+	m := testMachine(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dijkstra with V not multiple of 16 must panic")
+		}
+	}()
+	Dijkstra{}.Run(m, ct.Direct{}, Params{Size: 30, Seed: 1})
+}
+
+func TestCTOverheadOrdering(t *testing.T) {
+	// The headline performance relation: insecure < BIA << CT for a
+	// large-DS workload. (The precise ratios are the experiments'
+	// business; the ordering is a correctness property of the model.)
+	p := Params{Size: 3000, Seed: 3}
+	cyc := func(s ct.Strategy, biaLevel int) uint64 {
+		m := testMachine(biaLevel)
+		Histogram{}.Run(m, s, p)
+		return m.Report().Cycles
+	}
+	ins := cyc(ct.Direct{}, 0)
+	biaC := cyc(ct.BIA{}, 1)
+	lin := cyc(ct.Linear{}, 0)
+	if !(ins < biaC && biaC < lin) {
+		t.Fatalf("cycle ordering violated: insecure=%d bia=%d ct=%d", ins, biaC, lin)
+	}
+	if lin < 5*biaC {
+		t.Fatalf("BIA should be far cheaper than CT on a 3000-bin histogram: bia=%d ct=%d", biaC, lin)
+	}
+}
+
+func TestVecBeatsScalarCT(t *testing.T) {
+	p := Params{Size: 2000, Seed: 3}
+	run := func(s ct.Strategy) (cycles, insts uint64) {
+		m := testMachine(0)
+		Histogram{}.Run(m, s, p)
+		r := m.Report()
+		return r.Cycles, r.Insts
+	}
+	sc, si := run(ct.Linear{})
+	vc, vi := run(ct.LinearVec{})
+	if vi >= si || vc >= sc {
+		t.Fatalf("avx variant should reduce instructions and cycles: scalar=(%d,%d) vec=(%d,%d)",
+			sc, si, vc, vi)
+	}
+}
+
+func TestSearchStepsAndHeapDepth(t *testing.T) {
+	if searchSteps(1) != 1 || searchSteps(2) != 2 || searchSteps(1024) != 11 || searchSteps(1000) != 11 {
+		t.Errorf("searchSteps: %d %d %d %d", searchSteps(1), searchSteps(2), searchSteps(1024), searchSteps(1000))
+	}
+	if heapDepth(1) != 1 || heapDepth(2) != 2 || heapDepth(1000) != 10 {
+		t.Errorf("heapDepth: %d %d %d", heapDepth(1), heapDepth(2), heapDepth(1000))
+	}
+}
+
+func TestGenHeapIsValidMaxHeap(t *testing.T) {
+	h := (Heappop{}).genHeap(Params{Size: 501, Seed: 7})
+	for i := range h {
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < len(h) && h[c] > h[i] {
+				t.Fatalf("heap property violated at %d/%d", i, c)
+			}
+		}
+	}
+}
