@@ -133,6 +133,24 @@ func BenchmarkKernelBlowfishBIA(b *testing.B) {
 	b.ReportMetric(float64(cycles), "sim_cycles")
 }
 
+// BenchmarkFig7Point measures one sweep point of the Fig. 7 overhead
+// curves — the same four-machine comparison (insecure, BIA-in-L1,
+// BIA-in-L2, software CT) a fig7* experiment runs per size. This is the
+// unit the parallel experiment engine fans out, so its host cost bounds
+// the benefit of -parallel.
+func BenchmarkFig7Point(b *testing.B) {
+	w := workloads.Histogram{}
+	p := workloads.Params{Size: 2000, Seed: 1}
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		cycles = harness.RunWorkload(w, p, ct.Direct{}, 0).Cycles
+		cycles += harness.RunWorkload(w, p, ct.BIA{}, 1).Cycles
+		cycles += harness.RunWorkload(w, p, ct.BIA{}, 2).Cycles
+		cycles += harness.RunWorkload(w, p, ct.Linear{}, 0).Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim_cycles")
+}
+
 // --- Micro benchmarks: host cost of the simulator's primitives ---
 
 func BenchmarkMicroInsecureLoad(b *testing.B) {

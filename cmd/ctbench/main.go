@@ -8,22 +8,61 @@
 //	ctbench -exp fig2,fig9    # a comma-separated list
 //	ctbench -quick            # shrunken sizes for a fast smoke run
 //	ctbench -list             # list experiment IDs
+//	ctbench -parallel 8       # fan experiments and sweep points out
+//	                          # across 8 workers (tables byte-identical
+//	                          # to the serial run)
+//	ctbench -json out.json    # machine-readable results: per-experiment
+//	                          # wall time, machine counts and table rows
+//	ctbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"ctbia/internal/cpu"
 	"ctbia/internal/harness"
 )
+
+// jsonExperiment is one experiment's record in the -json report.
+type jsonExperiment struct {
+	ID       string     `json:"id"`
+	Title    string     `json:"title"`
+	WallMS   float64    `json:"wall_ms"`
+	Machines uint64     `json:"machines"`
+	Headers  []string   `json:"headers,omitempty"`
+	Rows     [][]string `json:"rows,omitempty"`
+	Notes    []string   `json:"notes,omitempty"`
+}
+
+// jsonReport is the -json file layout. Per-experiment machine counts
+// are exact in serial runs; in parallel runs the attribution windows
+// overlap, but the run-level total stays exact — trajectory tooling
+// should trend the totals and the per-experiment wall times.
+type jsonReport struct {
+	Created     string           `json:"created"`
+	Quick       bool             `json:"quick"`
+	Parallel    int              `json:"parallel"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	WallMS      float64          `json:"wall_ms"`
+	Machines    uint64           `json:"machines"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id, comma-separated list, or 'all'")
 	quick := flag.Bool("quick", false, "use shrunken problem sizes")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	parallel := flag.Int("parallel", 1, "worker count for experiments and sweep points (<=1: serial)")
+	jsonOut := flag.String("json", "", "write a machine-readable result file (wall times, machine counts, table rows)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -47,11 +86,75 @@ func main() {
 		}
 	}
 
-	opts := harness.Options{Quick: *quick}
-	for _, e := range selected {
-		start := time.Now()
-		table := e.Run(opts)
-		fmt.Print(table.Render())
-		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ctbench: ", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ctbench: ", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	opts := harness.Options{Quick: *quick, Parallel: *parallel}
+	start := time.Now()
+	machinesBefore := cpu.MachinesBuilt()
+	results := harness.RunAll(selected, opts)
+	wall := time.Since(start)
+	machines := cpu.MachinesBuilt() - machinesBefore
+
+	for _, r := range results {
+		fmt.Print(r.Table.Render())
+		fmt.Printf("(%s in %v)\n\n", r.Experiment.ID, r.Wall.Round(time.Millisecond))
+	}
+	fmt.Printf("total: %d experiments, %d machines, %v wall (parallel=%d)\n",
+		len(results), machines, wall.Round(time.Millisecond), *parallel)
+
+	if *jsonOut != "" {
+		report := jsonReport{
+			Created:    time.Now().UTC().Format(time.RFC3339),
+			Quick:      *quick,
+			Parallel:   *parallel,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			WallMS:     float64(wall.Microseconds()) / 1000,
+			Machines:   machines,
+		}
+		for _, r := range results {
+			report.Experiments = append(report.Experiments, jsonExperiment{
+				ID:       r.Experiment.ID,
+				Title:    r.Experiment.Title,
+				WallMS:   float64(r.Wall.Microseconds()) / 1000,
+				Machines: r.Machines,
+				Headers:  r.Table.Headers,
+				Rows:     r.Table.Rows,
+				Notes:    r.Table.Notes,
+			})
+		}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ctbench: ", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ctbench: ", err)
+			os.Exit(1)
+		}
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ctbench: ", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ctbench: ", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 }

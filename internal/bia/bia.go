@@ -75,9 +75,20 @@ type Table struct {
 	cfg     Config
 	shift   int // chunk granularity exponent (M)
 	sets    int
+	setMask uint64 // sets-1 when sets is a power of two, else 0
+	maskOK  bool
 	entries []entry
 	clock   uint64
 	level   int // cache level being monitored, 0 = detached
+
+	// One-entry find memo: snoop traffic is strongly chunk-local (a
+	// linearization sweep touches every line of a page before moving
+	// on), so the last resolved entry answers most lookups without a
+	// way scan. The pointer is revalidated against (valid, pageIdx) on
+	// every use, so eviction or reuse of the slot cannot serve a stale
+	// entry. entries never reallocates, so the pointer itself is safe.
+	lastChunk uint64
+	lastEntry *entry
 
 	Stats Stats
 }
@@ -91,12 +102,17 @@ func New(cfg Config) *Table {
 	if shift <= memp.LineShift || shift > memp.PageShift {
 		panic(fmt.Sprintf("bia: chunk shift %d out of range (%d, %d]", shift, memp.LineShift, memp.PageShift))
 	}
-	return &Table{
+	t := &Table{
 		cfg:     cfg,
 		shift:   shift,
 		sets:    cfg.Entries / cfg.Ways,
 		entries: make([]entry, cfg.Entries),
 	}
+	if t.sets&(t.sets-1) == 0 {
+		t.maskOK = true
+		t.setMask = uint64(t.sets - 1)
+	}
+	return t
 }
 
 // ChunkShift returns the table's management-granularity exponent M.
@@ -137,21 +153,53 @@ func (t *Table) set(idx int) []entry {
 	return t.entries[idx*t.cfg.Ways : (idx+1)*t.cfg.Ways]
 }
 
-func (t *Table) setOf(chunkIdx uint64) int { return int(chunkIdx % uint64(t.sets)) }
+func (t *Table) setOf(chunkIdx uint64) int {
+	if t.maskOK {
+		return int(chunkIdx & t.setMask)
+	}
+	return int(chunkIdx % uint64(t.sets))
+}
 
 func (t *Table) find(chunkIdx uint64) *entry {
+	if e := t.lastEntry; e != nil && t.lastChunk == chunkIdx && e.valid && e.pageIdx == chunkIdx {
+		return e
+	}
 	ways := t.set(t.setOf(chunkIdx))
 	for w := range ways {
 		if ways[w].valid && ways[w].pageIdx == chunkIdx {
+			t.lastChunk, t.lastEntry = chunkIdx, &ways[w]
 			return &ways[w]
 		}
 	}
 	return nil
 }
 
+// WantsEvent implements cache.KindFilter: the bitmaps react to the
+// hit/fill/evict/dirty wires of Fig. 5, not to per-probe access
+// telemetry, so a BIA-only hierarchy skips EvAccess emission entirely.
+func (t *Table) WantsEvent(k cache.EventKind) bool {
+	switch k {
+	case cache.EvHit, cache.EvFill, cache.EvEvict, cache.EvDirty:
+		return true
+	default:
+		return false
+	}
+}
+
+// WantsLevel implements cache.LevelFilter: the snoop port is wired to
+// exactly one cache level (AttachTo sets it before subscribing).
+func (t *Table) WantsLevel(level int) bool { return level == t.level }
+
 // CacheEvent implements cache.Listener: the snoop port of Fig. 5.
 func (t *Table) CacheEvent(ev cache.Event) {
 	if ev.Level != t.level {
+		return
+	}
+	switch ev.Kind {
+	case cache.EvHit, cache.EvFill, cache.EvEvict, cache.EvDirty:
+	default:
+		// EvAccess and friends carry nothing the bitmaps track; bail
+		// before the table lookup (they are the most frequent events).
 		return
 	}
 	e := t.find(t.chunkIdx(ev.Line))
@@ -212,6 +260,7 @@ func (t *Table) LookupOrInstall(addr memp.Addr) (exist, dirty uint64) {
 	}
 	t.clock++
 	ways[victim] = entry{valid: true, pageIdx: pageIdx, stamp: t.clock}
+	t.lastChunk, t.lastEntry = pageIdx, &ways[victim]
 	return 0, 0
 }
 

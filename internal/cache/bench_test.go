@@ -1,0 +1,70 @@
+package cache
+
+import (
+	"testing"
+
+	"ctbia/internal/memp"
+)
+
+// Benchmarks for the hierarchy hot paths the experiments spend their
+// time in: demand accesses (hits and the miss/fill/evict cycle) and the
+// CTLoad/CTStore tag probes. Run with
+//
+//	go test -bench 'HierarchyAccess|CTProbe' ./internal/cache/
+//
+// and compare against EXPERIMENTS.md's recorded numbers when touching
+// Access, findIn, victim or the event plumbing.
+
+func benchHierarchy() *Hierarchy {
+	return NewHierarchy(200,
+		Config{Name: "L1d", Size: 64 << 10, Ways: 8, Latency: 2},
+		Config{Name: "L2", Size: 1 << 20, Ways: 8, Latency: 15},
+		Config{Name: "LLC", Size: 16 << 20, Ways: 16, Latency: 41},
+	)
+}
+
+// BenchmarkHierarchyAccessHit measures the L1-hit path (the sweep
+// steady state for DSes that fit in the L1).
+func BenchmarkHierarchyAccessHit(b *testing.B) {
+	h := benchHierarchy()
+	const lines = 256 // 16 KiB: fits the L1
+	for i := 0; i < lines; i++ {
+		h.Access(memp.Addr(i*memp.LineSize), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(memp.Addr(i%lines*memp.LineSize), 0)
+	}
+}
+
+// BenchmarkHierarchyAccessSweep measures the cyclic-sweep pathology the
+// software-CT runs hammer: an L2-sized working set walked in order, so
+// nearly every access misses L1+L2, hits the LLC, and triggers the full
+// victim/evict/fill cycle at both inner levels.
+func BenchmarkHierarchyAccessSweep(b *testing.B) {
+	h := benchHierarchy()
+	const lines = (1 << 20) / memp.LineSize // L2-sized
+	for i := 0; i < lines; i++ {
+		h.Access(memp.Addr(i*memp.LineSize), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(memp.Addr(i%lines*memp.LineSize), FlagNoLRU)
+	}
+}
+
+// BenchmarkCTProbe measures the CTLoad/CTStore cache side: a tag probe
+// that never allocates or forwards.
+func BenchmarkCTProbe(b *testing.B) {
+	h := benchHierarchy()
+	const lines = 256
+	for i := 0; i < lines; i++ {
+		h.Access(memp.Addr(i*memp.LineSize), FlagWrite)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := memp.Addr(i % (2 * lines) * memp.LineSize) // half hit, half miss
+		h.CTProbeLoad(1, a)
+		h.CTProbeStore(1, a)
+	}
+}

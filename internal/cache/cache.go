@@ -94,10 +94,23 @@ type Cache struct {
 	cfg        Config
 	sets       int // total sets across all slices
 	setsPerSlc int
+	setMask    uint64 // sets-1 when sets is a power of two, else 0
+	slcMask    uint64 // setsPerSlc-1 when a power of two, else 0
+	maskOK     bool   // set mapping can use bit-masking
 	lines      []line // sets*ways, set-major
-	clock      uint64 // monotonic stamp source for LRU/FIFO
-	rng        *rand.Rand
-	pinnedAll  uint64 // count of pinned lines (PLcache comparison)
+	// tags mirrors lines[i].addr for valid lines (noTag otherwise) in a
+	// dense array, so the per-probe way scan walks 8-byte tags instead
+	// of the padded line structs. Kept in sync by setTag at the three
+	// places a line's identity changes (fill, evict, back-invalidate).
+	tags []memp.Addr
+	// validCnt tracks valid lines per set (maintained by setTag), so
+	// probes of untouched sets skip the tag scan and fills into full
+	// sets skip the invalid-way scan — both the common case once the
+	// working set exceeds a level.
+	validCnt  []uint16
+	clock     uint64 // monotonic stamp source for LRU/FIFO
+	rng       *rand.Rand
+	pinnedAll uint64 // count of pinned lines (PLcache comparison)
 
 	// SliceTraffic counts per-slice demand accesses when sliced.
 	SliceTraffic []uint64
@@ -128,10 +141,15 @@ func NewCache(cfg Config) *Cache {
 		}
 	}
 	c := &Cache{
-		cfg:   cfg,
-		sets:  sets,
-		lines: make([]line, sets*cfg.Ways),
-		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
+		cfg:      cfg,
+		sets:     sets,
+		lines:    make([]line, sets*cfg.Ways),
+		tags:     make([]memp.Addr, sets*cfg.Ways),
+		validCnt: make([]uint16, sets),
+		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	for i := range c.tags {
+		c.tags[i] = noTag
 	}
 	if cfg.Slices > 1 {
 		c.setsPerSlc = sets / cfg.Slices
@@ -139,8 +157,18 @@ func NewCache(cfg Config) *Cache {
 	} else {
 		c.setsPerSlc = sets
 	}
+	// All Table 1 geometries have power-of-two set counts, where the
+	// `%` in the set mapping reduces to a bit mask; keep the modulo as
+	// a fallback for odd hand-built geometries.
+	if isPow2(c.sets) && isPow2(c.setsPerSlc) {
+		c.maskOK = true
+		c.setMask = uint64(c.sets - 1)
+		c.slcMask = uint64(c.setsPerSlc - 1)
+	}
 	return c
 }
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
@@ -160,7 +188,13 @@ func (c *Cache) SetOf(a memp.Addr) int {
 	li := a.LineIndex()
 	if c.cfg.Slices > 1 {
 		slc := c.cfg.SliceHash(a.Line())
+		if c.maskOK {
+			return slc*c.setsPerSlc + int(li&c.slcMask)
+		}
 		return slc*c.setsPerSlc + int(li%uint64(c.setsPerSlc))
+	}
+	if c.maskOK {
+		return int(li & c.setMask)
 	}
 	return int(li % uint64(c.sets))
 }
@@ -180,24 +214,55 @@ func (c *Cache) set(idx int) []line {
 func (c *Cache) find(a memp.Addr) (int, int) {
 	la := a.Line()
 	s := c.SetOf(la)
-	ways := c.set(s)
-	for w := range ways {
-		if ways[w].valid && ways[w].addr == la {
-			return s, w
+	return s, c.findIn(s, la)
+}
+
+// noTag marks an invalid way in the tag array. It is not line-aligned,
+// so it can never equal a real (line-aligned) probe address — the way
+// scan needs no separate validity check.
+const noTag = ^memp.Addr(0)
+
+// setTag records la as way w of set s's identity (noTag to invalidate)
+// and keeps the per-set valid count in step.
+func (c *Cache) setTag(s, w int, la memp.Addr) {
+	i := s*c.cfg.Ways + w
+	old := c.tags[i]
+	c.tags[i] = la
+	if old == noTag {
+		if la != noTag {
+			c.validCnt[s]++
+		}
+	} else if la == noTag {
+		c.validCnt[s]--
+	}
+}
+
+// findIn looks for the line-aligned address la in set s (the caller has
+// already computed s = SetOf(la), so the hot paths pay for the set
+// mapping exactly once per probe).
+func (c *Cache) findIn(s int, la memp.Addr) int {
+	if c.validCnt[s] == 0 {
+		return -1
+	}
+	base := s * c.cfg.Ways
+	tags := c.tags[base : base+c.cfg.Ways]
+	for w := range tags {
+		if tags[w] == la {
+			return w
 		}
 	}
-	return s, -1
+	return -1
 }
 
 // Lookup reports, without any side effects, whether the line holding a
 // is present and whether it is dirty. This is the pure tag check used by
 // tests and by the BIA subset-of-truth invariant checker.
 func (c *Cache) Lookup(a memp.Addr) (present, dirty bool) {
-	_, w := c.find(a)
+	s, w := c.find(a)
 	if w < 0 {
 		return false, false
 	}
-	ln := &c.set(c.SetOf(a.Line()))[w]
+	ln := &c.set(s)[w]
 	return true, ln.dirty
 }
 
@@ -216,6 +281,35 @@ func (c *Cache) touch(s, w int) {
 // if every way is pinned, victim returns -1 (the fill is dropped, which
 // models PLcache's "no free way" behaviour).
 func (c *Cache) victim(s int) int {
+	if c.pinnedAll == 0 {
+		// Nothing is pinned anywhere (pinning only appears in the
+		// PLcache comparison), so skip the per-way pin checks; scan the
+		// dense tag array for an invalid way only when the valid count
+		// says one exists (a full set — the steady state — goes straight
+		// to the policy). The Random branch stays on the same RNG
+		// stream: with no pins the slow path's first draw always
+		// succeeds, which is exactly one Intn call.
+		if int(c.validCnt[s]) < c.cfg.Ways {
+			base := s * c.cfg.Ways
+			tags := c.tags[base : base+c.cfg.Ways]
+			for w := range tags {
+				if tags[w] == noTag {
+					return w
+				}
+			}
+		}
+		if c.cfg.Policy == Random {
+			return c.rng.Intn(c.cfg.Ways)
+		}
+		ways := c.set(s)
+		best, bestStamp := -1, ^uint64(0)
+		for w := range ways {
+			if ways[w].stamp <= bestStamp {
+				best, bestStamp = w, ways[w].stamp
+			}
+		}
+		return best
+	}
 	ways := c.set(s)
 	// Prefer an invalid way.
 	for w := range ways {

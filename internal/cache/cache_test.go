@@ -272,6 +272,29 @@ func TestPrefetchLineInstallsClean(t *testing.T) {
 	}
 }
 
+func TestPrefetchCountsDRAMReads(t *testing.T) {
+	h := tiny()
+	a := memp.Addr(0xb0000)
+	h.PrefetchLine(a)
+	if got := h.Stats.DRAMReads; got != 1 {
+		t.Fatalf("prefetch of an uncached line: DRAMReads = %d, want 1", got)
+	}
+	// A prefetch of a line already cached somewhere is dropped before
+	// the memory controller: no DRAM read.
+	h.PrefetchLine(a)
+	if got := h.Stats.DRAMReads; got != 1 {
+		t.Fatalf("prefetch of a cached line: DRAMReads = %d, want still 1", got)
+	}
+	// The next-line prefetcher goes through the same accounting: one
+	// demand read plus one prefetch read.
+	h2 := tiny()
+	h2.PrefetchNextLine = true
+	h2.Access(memp.Addr(0xc0000), 0)
+	if got := h2.Stats.DRAMReads; got != 2 {
+		t.Fatalf("demand fill + next-line prefetch: DRAMReads = %d, want 2", got)
+	}
+}
+
 func TestNextLinePrefetcher(t *testing.T) {
 	h := tiny()
 	h.PrefetchNextLine = true

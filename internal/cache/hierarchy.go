@@ -59,6 +59,8 @@ type Hierarchy struct {
 	levels      []*Cache
 	dramLatency int
 	listeners   []Listener
+	wantMask    uint32 // union of subscribed event kinds (1 << kind)
+	wantLevels  uint32 // union of subscribed cache levels (1 << level)
 
 	// PrefetchNextLine enables a simple next-line prefetcher: every
 	// demand fill from DRAM also installs the following line, clean.
@@ -100,8 +102,30 @@ func (h *Hierarchy) LLC() *Cache { return h.levels[len(h.levels)-1] }
 // DRAMLatency returns the miss-to-memory latency in cycles.
 func (h *Hierarchy) DRAMLatency() int { return h.dramLatency }
 
-// Subscribe registers a listener for cache events.
-func (h *Hierarchy) Subscribe(l Listener) { h.listeners = append(h.listeners, l) }
+// Subscribe registers a listener for cache events. Listeners that also
+// implement KindFilter narrow what the hierarchy emits; all others
+// receive every kind.
+func (h *Hierarchy) Subscribe(l Listener) {
+	h.listeners = append(h.listeners, l)
+	if f, ok := l.(KindFilter); ok {
+		for k := EvAccess; k <= EvDirty; k++ {
+			if f.WantsEvent(k) {
+				h.wantMask |= 1 << uint(k)
+			}
+		}
+	} else {
+		h.wantMask = ^uint32(0)
+	}
+	if f, ok := l.(LevelFilter); ok {
+		for i := 1; i <= len(h.levels); i++ {
+			if f.WantsLevel(i) {
+				h.wantLevels |= 1 << uint(i)
+			}
+		}
+	} else {
+		h.wantLevels = ^uint32(0)
+	}
+}
 
 // ResetStats zeroes all per-level and hierarchy counters, leaving cache
 // contents (and listeners) alone.
@@ -112,10 +136,31 @@ func (h *Hierarchy) ResetStats() {
 	h.Stats = HierStats{}
 }
 
+// emit delivers one event to every listener. Hot paths guard calls with
+// snooped() so the Event struct is never even constructed when nobody
+// listens — the insecure and software-CT runs have zero listeners and
+// their linearization sweeps dominate experiment wall time.
 func (h *Hierarchy) emit(ev Event) {
 	for _, l := range h.listeners {
 		l.CacheEvent(ev)
 	}
+}
+
+// snooped reports whether any listener is subscribed.
+func (h *Hierarchy) snooped() bool { return len(h.listeners) != 0 }
+
+// wants reports whether any subscriber consumes events of kind k; emit
+// sites for per-probe EvAccess events guard on it so a BIA-only run (the
+// common configuration) skips them entirely.
+func (h *Hierarchy) wants(k EventKind) bool { return h.wantMask&(1<<uint(k)) != 0 }
+
+// snoopsAt reports whether any subscriber consumes events from the given
+// cache level. Emit sites guard on it so a hierarchy whose only listener
+// is a single-level BIA skips the event work behind that level's back
+// (the L2/LLC traffic of every L1 miss, and vice versa for bypassing
+// configurations).
+func (h *Hierarchy) snoopsAt(level int) bool {
+	return len(h.listeners) != 0 && h.wantLevels&(1<<uint(level)) != 0
 }
 
 // Access performs a demand load or store starting at L1.
@@ -138,33 +183,43 @@ func (h *Hierarchy) AccessFrom(start int, addr memp.Addr, flags Flags) Result {
 	}
 	write := flags&FlagWrite != 0
 	la := addr.Line()
+	wantAcc := h.wants(EvAccess)
 	cycles := 0
-	hitLevel := 0
 	for i := start; i <= len(h.levels); i++ {
 		c := h.levels[i-1]
 		cycles += c.cfg.Latency
 		c.Stats.Accesses++
-		set := c.SetOf(la)
+		snoop := h.snoopsAt(i)
+		// One set computation per probe: findIn reuses s, and the
+		// slice index falls out of s without re-running the hash.
+		s := c.SetOf(la)
 		if c.SliceTraffic != nil {
-			c.SliceTraffic[c.SliceOf(la)]++
+			c.SliceTraffic[s/c.setsPerSlc]++
 		}
-		h.emit(Event{Level: i, Kind: EvAccess, Line: la, Set: set, Write: write})
-		if s, w := c.find(la); w >= 0 {
+		if snoop && wantAcc {
+			h.emit(Event{Level: i, Kind: EvAccess, Line: la, Set: s, Write: write})
+		}
+		if w := c.findIn(s, la); w >= 0 {
 			ln := &c.set(s)[w]
 			c.Stats.Hits++
 			if flags&FlagNoLRU == 0 {
 				c.touch(s, w)
 			}
-			h.emit(Event{Level: i, Kind: EvHit, Line: la, Set: s, Dirty: ln.dirty})
+			if snoop {
+				h.emit(Event{Level: i, Kind: EvHit, Line: la, Set: s, Dirty: ln.dirty})
+			}
 			if write && !ln.dirty {
 				ln.dirty = true
-				h.emit(Event{Level: i, Kind: EvDirty, Line: la, Set: s})
+				if snoop {
+					h.emit(Event{Level: i, Kind: EvDirty, Line: la, Set: s})
+				}
 			}
-			hitLevel = i
 			// Fill the bypass-free upper levels so subsequent
 			// accesses hit closer to the core.
-			h.fillRange(start, i-1, la, write, flags)
-			return Result{Cycles: cycles, HitLevel: hitLevel}
+			if i > start {
+				h.fillRange(start, i-1, la, write, flags)
+			}
+			return Result{Cycles: cycles, HitLevel: i}
 		}
 		c.Stats.Misses++
 	}
@@ -178,27 +233,39 @@ func (h *Hierarchy) AccessFrom(start int, addr memp.Addr, flags Flags) Result {
 
 // fillRange installs la into levels start..end (1-based, inclusive).
 // The innermost filled level carries the dirty bit for stores
-// (write-allocate + write-back).
+// (write-allocate + write-back). Demand callers (AccessFrom) have just
+// probed and missed every level in the range, so the line is known
+// absent there and the fill skips the presence check; filling outermost
+// first cannot install la at an inner level (evictions only remove
+// lines and writebacks only mark existing ones dirty), so the knowledge
+// stays valid across the loop.
 func (h *Hierarchy) fillRange(start, end int, la memp.Addr, write bool, flags Flags) {
 	for i := end; i >= start; i-- {
 		dirtyHere := write && i == start
-		h.fillLevel(i, la, dirtyHere, flags)
+		h.fillLevel(i, la, dirtyHere, flags, false)
 	}
 }
 
 // fillLevel installs la at level i, evicting a victim if needed.
-func (h *Hierarchy) fillLevel(i int, la memp.Addr, dirty bool, flags Flags) {
+// checkPresent makes it tolerate la already being cached at the level
+// (the prefetch path, which fills without probing first).
+func (h *Hierarchy) fillLevel(i int, la memp.Addr, dirty bool, flags Flags, checkPresent bool) {
 	c := h.levels[i-1]
 	s := c.SetOf(la)
-	// Already present (possible when filling upward after a lower hit,
-	// or when the prefetcher races a demand fill): just update dirty.
-	if _, w := c.find(la); w >= 0 {
-		ln := &c.set(s)[w]
-		if dirty && !ln.dirty {
-			ln.dirty = true
-			h.emit(Event{Level: i, Kind: EvDirty, Line: la, Set: s})
+	snoop := h.snoopsAt(i)
+	// Already present (a prefetch racing a demand fill): just update
+	// the dirty bit.
+	if checkPresent {
+		if w := c.findIn(s, la); w >= 0 {
+			ln := &c.set(s)[w]
+			if dirty && !ln.dirty {
+				ln.dirty = true
+				if snoop {
+					h.emit(Event{Level: i, Kind: EvDirty, Line: la, Set: s})
+				}
+			}
+			return
 		}
-		return
 	}
 	w := c.victim(s)
 	if w < 0 {
@@ -207,20 +274,23 @@ func (h *Hierarchy) fillLevel(i int, la memp.Addr, dirty bool, flags Flags) {
 	}
 	ln := &c.set(s)[w]
 	if ln.valid {
-		h.evictLine(i, c, s, ln)
+		h.evictLine(i, c, s, w, ln)
 	}
 	ln.valid = true
 	ln.dirty = dirty
 	ln.addr = la
+	c.setTag(s, w, la)
 	c.clock++
 	ln.stamp = c.clock
 	c.Stats.Fills++
 	if flags&FlagPrefetch != 0 {
 		c.Stats.Prefetches++
 	}
-	h.emit(Event{Level: i, Kind: EvFill, Line: la, Set: s})
-	if dirty {
-		h.emit(Event{Level: i, Kind: EvDirty, Line: la, Set: s})
+	if snoop {
+		h.emit(Event{Level: i, Kind: EvFill, Line: la, Set: s})
+		if dirty {
+			h.emit(Event{Level: i, Kind: EvDirty, Line: la, Set: s})
+		}
 	}
 }
 
@@ -229,12 +299,14 @@ func (h *Hierarchy) fillLevel(i int, la memp.Addr, dirty bool, flags Flags) {
 // the line (its copy turns dirty); otherwise they count as DRAM writes.
 // In inclusive mode the inner levels are back-invalidated first, so
 // their dirty data drains into this level's copy before it leaves.
-func (h *Hierarchy) evictLine(i int, c *Cache, s int, ln *line) {
+func (h *Hierarchy) evictLine(i int, c *Cache, s, w int, ln *line) {
 	if h.Inclusive && i > 1 {
 		h.backInvalidate(i, ln.addr)
 	}
 	c.Stats.Evictions++
-	h.emit(Event{Level: i, Kind: EvEvict, Line: ln.addr, Set: s, Dirty: ln.dirty})
+	if h.snoopsAt(i) {
+		h.emit(Event{Level: i, Kind: EvEvict, Line: ln.addr, Set: s, Dirty: ln.dirty})
+	}
 	if ln.dirty {
 		c.Stats.Writebacks++
 		h.writeback(i+1, ln.addr)
@@ -242,6 +314,7 @@ func (h *Hierarchy) evictLine(i int, c *Cache, s int, ln *line) {
 	ln.valid = false
 	ln.dirty = false
 	ln.pinned = false
+	c.setTag(s, w, noTag)
 }
 
 // backInvalidate removes la from every level inside outer, draining
@@ -249,11 +322,14 @@ func (h *Hierarchy) evictLine(i int, c *Cache, s int, ln *line) {
 func (h *Hierarchy) backInvalidate(outer int, la memp.Addr) {
 	for i := outer - 1; i >= 1; i-- {
 		c := h.levels[i-1]
-		if s, w := c.find(la); w >= 0 {
+		s := c.SetOf(la)
+		if w := c.findIn(s, la); w >= 0 {
 			ln := &c.set(s)[w]
 			c.Stats.Invalidates++
 			c.Stats.Evictions++
-			h.emit(Event{Level: i, Kind: EvEvict, Line: la, Set: s, Dirty: ln.dirty})
+			if h.snoopsAt(i) {
+				h.emit(Event{Level: i, Kind: EvEvict, Line: la, Set: s, Dirty: ln.dirty})
+			}
 			if ln.dirty {
 				c.Stats.Writebacks++
 				h.writeback(i+1, la)
@@ -261,6 +337,7 @@ func (h *Hierarchy) backInvalidate(outer int, la memp.Addr) {
 			ln.valid = false
 			ln.dirty = false
 			ln.pinned = false
+			c.setTag(s, w, noTag)
 		}
 	}
 }
@@ -269,11 +346,14 @@ func (h *Hierarchy) backInvalidate(outer int, la memp.Addr) {
 func (h *Hierarchy) writeback(from int, la memp.Addr) {
 	for i := from; i <= len(h.levels); i++ {
 		c := h.levels[i-1]
-		if s, w := c.find(la); w >= 0 {
+		s := c.SetOf(la)
+		if w := c.findIn(s, la); w >= 0 {
 			ln := &c.set(s)[w]
 			if !ln.dirty {
 				ln.dirty = true
-				h.emit(Event{Level: i, Kind: EvDirty, Line: la, Set: s})
+				if h.snoopsAt(i) {
+					h.emit(Event{Level: i, Kind: EvDirty, Line: la, Set: s})
+				}
 			}
 			return
 		}
@@ -291,16 +371,21 @@ func (h *Hierarchy) writeback(from int, la memp.Addr) {
 func (h *Hierarchy) CTProbeLoad(level int, addr memp.Addr) (hit bool, cycles int) {
 	c := h.Level(level)
 	la := addr.Line()
+	snoop := h.snoopsAt(level)
 	c.Stats.Accesses++
-	set := c.SetOf(la)
+	s := c.SetOf(la)
 	if c.SliceTraffic != nil {
-		c.SliceTraffic[c.SliceOf(la)]++
+		c.SliceTraffic[s/c.setsPerSlc]++
 	}
-	h.emit(Event{Level: level, Kind: EvAccess, Line: la, Set: set, Probe: true})
-	if s, w := c.find(la); w >= 0 {
+	if snoop && h.wants(EvAccess) {
+		h.emit(Event{Level: level, Kind: EvAccess, Line: la, Set: s, Probe: true})
+	}
+	if w := c.findIn(s, la); w >= 0 {
 		ln := &c.set(s)[w]
 		c.Stats.Hits++
-		h.emit(Event{Level: level, Kind: EvHit, Line: la, Set: s, Dirty: ln.dirty, Probe: true})
+		if snoop {
+			h.emit(Event{Level: level, Kind: EvHit, Line: la, Set: s, Dirty: ln.dirty, Probe: true})
+		}
 		return true, c.cfg.Latency
 	}
 	c.Stats.Misses++
@@ -315,16 +400,21 @@ func (h *Hierarchy) CTProbeLoad(level int, addr memp.Addr) (hit bool, cycles int
 func (h *Hierarchy) CTProbeStore(level int, addr memp.Addr) (wrote bool, cycles int) {
 	c := h.Level(level)
 	la := addr.Line()
+	snoop := h.snoopsAt(level)
 	c.Stats.Accesses++
-	set := c.SetOf(la)
+	s := c.SetOf(la)
 	if c.SliceTraffic != nil {
-		c.SliceTraffic[c.SliceOf(la)]++
+		c.SliceTraffic[s/c.setsPerSlc]++
 	}
-	h.emit(Event{Level: level, Kind: EvAccess, Line: la, Set: set, Write: true, Probe: true})
-	if s, w := c.find(la); w >= 0 {
+	if snoop && h.wants(EvAccess) {
+		h.emit(Event{Level: level, Kind: EvAccess, Line: la, Set: s, Write: true, Probe: true})
+	}
+	if w := c.findIn(s, la); w >= 0 {
 		ln := &c.set(s)[w]
 		c.Stats.Hits++
-		h.emit(Event{Level: level, Kind: EvHit, Line: la, Set: s, Dirty: ln.dirty, Probe: true})
+		if snoop {
+			h.emit(Event{Level: level, Kind: EvHit, Line: la, Set: s, Dirty: ln.dirty, Probe: true})
+		}
 		// Line stays dirty; no EvDirty because there is no 0->1 edge.
 		return ln.dirty, c.cfg.Latency
 	}
@@ -338,19 +428,37 @@ func (h *Hierarchy) Flush(addr memp.Addr) {
 	la := addr.Line()
 	for i := len(h.levels); i >= 1; i-- {
 		c := h.levels[i-1]
-		if s, w := c.find(la); w >= 0 {
+		s := c.SetOf(la)
+		if w := c.findIn(s, la); w >= 0 {
 			c.Stats.Invalidates++
-			h.evictLine(i, c, s, &c.set(s)[w])
+			h.evictLine(i, c, s, w, &c.set(s)[w])
 		}
 	}
 }
 
 // PrefetchLine installs la clean at every level without counting as a
 // demand access; models a hardware prefetcher bringing a line in
-// (Fig. 6(d): "that line should not be dirty in the cache").
+// (Fig. 6(d): "that line should not be dirty in the cache"). The fill
+// data comes from DRAM, so it counts toward the Fig. 8 DRAM-access
+// metric — unless the line is already cached somewhere, in which case
+// the prefetch is dropped before reaching the memory controller.
 func (h *Hierarchy) PrefetchLine(addr memp.Addr) {
 	la := addr.Line()
-	h.fillRange(1, len(h.levels), la, false, FlagPrefetch)
+	cached := false
+	for _, c := range h.levels {
+		if _, w := c.find(la); w >= 0 {
+			cached = true
+			break
+		}
+	}
+	if !cached {
+		h.Stats.DRAMReads++
+	}
+	// Unlike demand fills, the prefetcher has not probed first, so the
+	// line may already sit at some level: fill with the presence check.
+	for i := len(h.levels); i >= 1; i-- {
+		h.fillLevel(i, la, false, FlagPrefetch, true)
+	}
 }
 
 // maybePrefetch is called after a demand DRAM fill when the next-line

@@ -14,6 +14,7 @@ package cpu
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ctbia/internal/bia"
 	"ctbia/internal/cache"
@@ -88,13 +89,29 @@ type Machine struct {
 	streamParity int
 	// opSlop accumulates sub-cycle wide-issue op cost.
 	opSlop int
+	// modeLUT precomputes modeFlags for every AccessMode combination
+	// (four mode bits, sixteen combos); the sweep loops resolve their
+	// constant mode with one load instead of four branch tests.
+	modeLUT [16]cache.Flags
 }
+
+// machinesBuilt counts Machine constructions process-wide; the harness
+// records it in benchmark trajectories (a proxy for experiment scale
+// that is independent of host speed).
+var machinesBuilt atomic.Uint64
+
+// MachinesBuilt returns the number of Machines constructed so far in
+// this process. Deltas around an experiment attribute machines to it;
+// with concurrent experiments the windows overlap, so per-experiment
+// deltas are approximate there while whole-run deltas stay exact.
+func MachinesBuilt() uint64 { return machinesBuilt.Load() }
 
 // New builds a machine from cfg.
 func New(cfg Config) *Machine {
 	if len(cfg.Levels) == 0 {
 		panic("cpu: config needs at least one cache level")
 	}
+	machinesBuilt.Add(1)
 	m := &Machine{
 		Mem:   memp.NewMemory(),
 		Alloc: memp.NewAllocator(),
@@ -105,6 +122,9 @@ func New(cfg Config) *Machine {
 	if cfg.BIALevel > 0 {
 		m.BIA = bia.New(cfg.BIA)
 		m.BIA.AttachTo(m.Hier, cfg.BIALevel)
+	}
+	for mode := range m.modeLUT {
+		m.modeLUT[mode] = m.computeModeFlags(AccessMode(mode))
 	}
 	return m
 }
@@ -144,7 +164,10 @@ func (m *Machine) Op(n int) {
 // streamIssueWidth is how many independent ALU ops retire per cycle in
 // a streaming loop (a wide out-of-order core keeps sweep address
 // arithmetic entirely off the critical path).
-const streamIssueWidth = 8
+const streamIssueWidth = 1 << streamIssueShift
+
+// streamIssueShift is log2(streamIssueWidth), for shift/mask accounting.
+const streamIssueShift = 3
 
 // OpStream executes n ALU instructions belonging to an independent
 // streaming loop (the DS linearization sweeps): the instructions are
@@ -156,9 +179,11 @@ func (m *Machine) OpStream(n int) {
 		panic("cpu: negative op count")
 	}
 	m.retire(n)
+	// opSlop is non-negative, so / and % of the power-of-two issue
+	// width reduce to shift and mask (this runs once per sweep line).
 	m.opSlop += n
-	m.C.Cycles += uint64(m.opSlop / streamIssueWidth)
-	m.opSlop %= streamIssueWidth
+	m.C.Cycles += uint64(m.opSlop >> streamIssueShift)
+	m.opSlop &= streamIssueWidth - 1
 }
 
 // access runs one data access and charges its latency. Streaming
@@ -236,6 +261,12 @@ const (
 )
 
 func (m *Machine) modeFlags(mode AccessMode) cache.Flags {
+	return m.modeLUT[mode&15]
+}
+
+// computeModeFlags derives the cache flags for one mode combination; New
+// tabulates it into modeLUT.
+func (m *Machine) computeModeFlags(mode AccessMode) cache.Flags {
 	var f cache.Flags
 	if mode&ModeNoLRU != 0 {
 		f |= cache.FlagNoLRU

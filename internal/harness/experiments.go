@@ -117,15 +117,19 @@ func runFig2(o Options) *Table {
 	t := &Table{ID: "fig2", Title: "Histogram CT overhead vs input size",
 		Headers: []string{"size", "DS lines", "secure", "secure with avx"}}
 	w := workloads.Histogram{}
-	for _, size := range sizes {
-		p := workloads.Params{Size: size, Seed: 1}
+	rows := make([][]string, len(sizes))
+	forEachIndexed(len(sizes), o.Parallel, func(i int) {
+		p := workloads.Params{Size: sizes[i], Seed: 1}
 		ins := RunWorkload(w, p, ct.Direct{}, 0)
 		lin := RunWorkload(w, p, ct.Linear{}, 0)
 		vec := RunWorkload(w, p, ct.LinearVec{}, 0)
-		t.AddRow(fmt.Sprintf("hist_%d", size),
+		rows[i] = []string{fmt.Sprintf("hist_%d", sizes[i]),
 			fmt.Sprintf("%d", w.DSLines(p)),
 			ratio(lin.Cycles, ins.Cycles),
-			ratio(vec.Cycles, ins.Cycles))
+			ratio(vec.Cycles, ins.Cycles)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes, "overhead = cycles / insecure cycles; grows ~linearly with DS size as in the paper")
 	return t
@@ -157,7 +161,10 @@ func runMotivation(o Options) *Table {
 	return t
 }
 
-// fig7 builds the runner for one Fig. 7 panel.
+// fig7 builds the runner for one Fig. 7 panel. The per-size points are
+// independent (each builds four fresh machines), so they fan out across
+// o.Parallel workers; rows are collected in index order, keeping the
+// table byte-identical to the serial run.
 func fig7(id string, w workloads.Workload, sizes, quick []int) func(Options) *Table {
 	return func(o Options) *Table {
 		ss := sizes
@@ -167,13 +174,17 @@ func fig7(id string, w workloads.Workload, sizes, quick []int) func(Options) *Ta
 		t := &Table{ID: id,
 			Title:   fmt.Sprintf("%s execution-time overhead vs insecure baseline", w.Name()),
 			Headers: []string{"workload", "L1d", "L2", "CT"}}
-		for _, size := range ss {
-			p := workloads.Params{Size: size, Seed: 1}
-			r := runAllStrategies(w, p)
-			t.AddRow(fmt.Sprintf("%s_%d", shortName(w.Name()), size),
+		rows := make([][]string, len(ss))
+		forEachIndexed(len(ss), o.Parallel, func(i int) {
+			p := workloads.Params{Size: ss[i], Seed: 1}
+			r := runAllStrategies(w, p, o.parallel())
+			rows[i] = []string{fmt.Sprintf("%s_%d", shortName(w.Name()), ss[i]),
 				ratio(r.biaL1.Cycles, r.insecure.Cycles),
 				ratio(r.biaL2.Cycles, r.insecure.Cycles),
-				ratio(r.linear.Cycles, r.insecure.Cycles))
+				ratio(r.linear.Cycles, r.insecure.Cycles)}
+		})
+		for _, row := range rows {
+			t.AddRow(row...)
 		}
 		return t
 	}

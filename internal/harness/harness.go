@@ -53,7 +53,13 @@ func (t *Table) Render() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", width[i], c)
+			// Rows may carry more cells than Headers; extra cells get
+			// no padding instead of indexing width out of range.
+			if i < len(width) {
+				fmt.Fprintf(&b, "%-*s", width[i], c)
+			} else {
+				b.WriteString(c)
+			}
 		}
 		b.WriteByte('\n')
 	}
@@ -72,11 +78,20 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
-// Options tune experiment scale.
+// Options tune experiment scale and execution.
 type Options struct {
 	// Quick shrinks problem sizes for fast runs (tests, smoke checks).
 	Quick bool
+	// Parallel is the worker count for RunAll and for the fan-out
+	// inside the sweep experiments. Values <= 1 run everything
+	// serially. Every data point builds its own cpu.Machine (seeded
+	// RNGs and all state are per-machine), so any Parallel value
+	// produces tables byte-identical to the serial run.
+	Parallel int
 }
+
+// parallel reports whether fan-out is enabled.
+func (o Options) parallel() bool { return o.Parallel > 1 }
 
 // Experiment is one reproducible table/figure.
 type Experiment struct {

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunAllParallelMatchesSerial is the determinism contract of the
+// parallel experiment engine: fanning experiments and sweep points out
+// across workers must render byte-identical tables. (Runs under -race
+// in CI, which also makes it the data-race canary for RunAll.)
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	ids := []string{"fig7a", "fig7d", "fig9", "contention", "crosscore"}
+	var exps []Experiment
+	for _, id := range ids {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps = append(exps, e)
+	}
+
+	serial := RunAll(exps, Options{Quick: true})
+	par := RunAll(exps, Options{Quick: true, Parallel: 4})
+
+	if len(serial) != len(par) {
+		t.Fatalf("result count: serial %d, parallel %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i].Experiment.ID != par[i].Experiment.ID {
+			t.Fatalf("result %d: order differs: %q vs %q",
+				i, serial[i].Experiment.ID, par[i].Experiment.ID)
+		}
+		s, p := serial[i].Table.Render(), par[i].Table.Render()
+		if s != p {
+			t.Errorf("%s: parallel table differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				serial[i].Experiment.ID, s, p)
+		}
+	}
+}
+
+// TestRenderOverlongRow pins the fix for a latent panic: a row with more
+// cells than Headers used to index past the width table.
+func TestRenderOverlongRow(t *testing.T) {
+	tb := &Table{
+		ID:      "overlong",
+		Title:   "row wider than header",
+		Headers: []string{"a", "b"},
+	}
+	tb.AddRow("1", "2", "3 (no matching header)")
+	out := tb.Render() // must not panic
+	if want := "3 (no matching header)"; !strings.Contains(out, want) {
+		t.Errorf("render dropped the extra cell %q:\n%s", want, out)
+	}
+}

@@ -2,6 +2,8 @@ package harness
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"ctbia/internal/cpu"
 	"ctbia/internal/ct"
@@ -50,11 +52,98 @@ type strategyRuns struct {
 	linear   cpu.Report
 }
 
-func runAllStrategies(w workloads.Workload, p workloads.Params) strategyRuns {
-	return strategyRuns{
-		insecure: RunWorkload(w, p, ct.Direct{}, 0),
-		biaL1:    RunWorkload(w, p, ct.BIA{}, 1),
-		biaL2:    RunWorkload(w, p, ct.BIA{}, 2),
-		linear:   RunWorkload(w, p, ct.Linear{}, 0),
+// runAllStrategies measures one workload/size point under the four
+// compared configurations. Each run builds its own machine with its own
+// seeded RNGs, so when parallel is true the four fan out across
+// goroutines with no shared state and bit-identical results.
+func runAllStrategies(w workloads.Workload, p workloads.Params, parallel bool) strategyRuns {
+	var r strategyRuns
+	jobs := []func(){
+		func() { r.insecure = RunWorkload(w, p, ct.Direct{}, 0) },
+		func() { r.biaL1 = RunWorkload(w, p, ct.BIA{}, 1) },
+		func() { r.biaL2 = RunWorkload(w, p, ct.BIA{}, 2) },
+		func() { r.linear = RunWorkload(w, p, ct.Linear{}, 0) },
 	}
+	if !parallel {
+		for _, job := range jobs {
+			job()
+		}
+		return r
+	}
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		wg.Add(1)
+		go func(job func()) {
+			defer wg.Done()
+			job()
+		}(job)
+	}
+	wg.Wait()
+	return r
+}
+
+// forEachIndexed runs fn(0..n-1) on up to `workers` goroutines. Results
+// are the caller's responsibility to collect into index-addressed slots,
+// which keeps output order deterministic regardless of scheduling.
+func forEachIndexed(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// Result is one experiment's outcome from RunAll: the rendered table
+// plus the wall time and the number of simulated machines the
+// experiment built (the counters cmd/ctbench's -json trajectory files
+// record across PRs).
+type Result struct {
+	Experiment Experiment
+	Table      *Table
+	Wall       time.Duration
+	Machines   uint64
+}
+
+// RunAll executes the given experiments — all registered ones when exps
+// is nil — with o.Parallel workers, collecting results in input order so
+// the output is byte-identical to a serial run. Each experiment (and,
+// inside the sweep experiments, each data point) owns fresh machines,
+// so parallelism changes wall time only, never a table cell.
+func RunAll(exps []Experiment, o Options) []Result {
+	if exps == nil {
+		exps = Experiments()
+	}
+	results := make([]Result, len(exps))
+	forEachIndexed(len(exps), o.Parallel, func(i int) {
+		start := time.Now()
+		before := cpu.MachinesBuilt()
+		table := exps[i].Run(o)
+		results[i] = Result{
+			Experiment: exps[i],
+			Table:      table,
+			Wall:       time.Since(start),
+			Machines:   cpu.MachinesBuilt() - before,
+		}
+	})
+	return results
 }

@@ -14,6 +14,14 @@ import (
 // in the cache hierarchy and machine model.
 type Memory struct {
 	pages map[uint64]*[PageSize]byte
+	// One-entry page cache: simulator traffic is strongly page-local
+	// (linearization sweeps walk lines in order), so memoizing the last
+	// translation removes the map lookup from the hot path. Pages are
+	// never unmapped, so the cached pointer cannot go stale. A Memory
+	// belongs to one Machine and is not safe for concurrent use — the
+	// harness gives every goroutine its own machine.
+	lastIdx  uint64
+	lastPage *[PageSize]byte
 }
 
 // NewMemory returns an empty memory; every byte reads as zero until
@@ -23,10 +31,16 @@ func NewMemory() *Memory {
 }
 
 func (m *Memory) page(idx uint64, create bool) *[PageSize]byte {
+	if m.lastPage != nil && m.lastIdx == idx {
+		return m.lastPage
+	}
 	p := m.pages[idx]
 	if p == nil && create {
 		p = new([PageSize]byte)
 		m.pages[idx] = p
+	}
+	if p != nil {
+		m.lastIdx, m.lastPage = idx, p
 	}
 	return p
 }
@@ -81,9 +95,17 @@ func (m *Memory) Write(addr Addr, src []byte) {
 
 // Read16/Read32/Read64 and the matching writes are the word-granular
 // accessors the machine model uses; they tolerate unaligned addresses.
+// Words that fit inside one page — all but one in four thousand at
+// worst — skip the span loop and decode straight out of the page.
 
 // Read16 returns the little-endian 16-bit word at addr.
 func (m *Memory) Read16(addr Addr) uint16 {
+	if off := addr.PageOffset(); off <= PageSize-2 {
+		if p := m.page(addr.PageIndex(), false); p != nil {
+			return binary.LittleEndian.Uint16(p[off:])
+		}
+		return 0
+	}
 	var b [2]byte
 	m.Read(addr, b[:])
 	return binary.LittleEndian.Uint16(b[:])
@@ -91,6 +113,12 @@ func (m *Memory) Read16(addr Addr) uint16 {
 
 // Read32 returns the little-endian 32-bit word at addr.
 func (m *Memory) Read32(addr Addr) uint32 {
+	if off := addr.PageOffset(); off <= PageSize-4 {
+		if p := m.page(addr.PageIndex(), false); p != nil {
+			return binary.LittleEndian.Uint32(p[off:])
+		}
+		return 0
+	}
 	var b [4]byte
 	m.Read(addr, b[:])
 	return binary.LittleEndian.Uint32(b[:])
@@ -98,6 +126,12 @@ func (m *Memory) Read32(addr Addr) uint32 {
 
 // Read64 returns the little-endian 64-bit word at addr.
 func (m *Memory) Read64(addr Addr) uint64 {
+	if off := addr.PageOffset(); off <= PageSize-8 {
+		if p := m.page(addr.PageIndex(), false); p != nil {
+			return binary.LittleEndian.Uint64(p[off:])
+		}
+		return 0
+	}
 	var b [8]byte
 	m.Read(addr, b[:])
 	return binary.LittleEndian.Uint64(b[:])
@@ -105,6 +139,10 @@ func (m *Memory) Read64(addr Addr) uint64 {
 
 // Write16 stores a little-endian 16-bit word at addr.
 func (m *Memory) Write16(addr Addr, v uint16) {
+	if off := addr.PageOffset(); off <= PageSize-2 {
+		binary.LittleEndian.PutUint16(m.page(addr.PageIndex(), true)[off:], v)
+		return
+	}
 	var b [2]byte
 	binary.LittleEndian.PutUint16(b[:], v)
 	m.Write(addr, b[:])
@@ -112,6 +150,10 @@ func (m *Memory) Write16(addr Addr, v uint16) {
 
 // Write32 stores a little-endian 32-bit word at addr.
 func (m *Memory) Write32(addr Addr, v uint32) {
+	if off := addr.PageOffset(); off <= PageSize-4 {
+		binary.LittleEndian.PutUint32(m.page(addr.PageIndex(), true)[off:], v)
+		return
+	}
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], v)
 	m.Write(addr, b[:])
@@ -119,6 +161,10 @@ func (m *Memory) Write32(addr Addr, v uint32) {
 
 // Write64 stores a little-endian 64-bit word at addr.
 func (m *Memory) Write64(addr Addr, v uint64) {
+	if off := addr.PageOffset(); off <= PageSize-8 {
+		binary.LittleEndian.PutUint64(m.page(addr.PageIndex(), true)[off:], v)
+		return
+	}
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], v)
 	m.Write(addr, b[:])
