@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ctbia/internal/cpu"
+	"ctbia/internal/harness"
+	"ctbia/internal/memp"
+	"ctbia/internal/resultcache"
+	"ctbia/internal/workloads"
+
+	"ctbia/internal/ct"
+)
+
+// benchSnapshot is the -benchjson layout: the machine-readable perf
+// trajectory record committed as BENCH_pr<N>.json each perf PR. All
+// wall times cover the experiment selection the flags picked (-exp,
+// -quick); allocs/op cover the fixed core paths regardless of flags.
+type benchSnapshot struct {
+	Created     string `json:"created"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Quick       bool   `json:"quick"`
+	Experiments int    `json:"experiments"`
+
+	// Wall times.
+	SerialWallMS   float64 `json:"serial_wall_ms"`
+	ParallelWallMS float64 `json:"parallel_wall_ms"`
+	Workers        int     `json:"parallel_workers"`
+	CacheColdMS    float64 `json:"cache_cold_wall_ms"`
+	CacheWarmMS    float64 `json:"cache_warm_wall_ms"`
+	CacheHits      uint64  `json:"cache_warm_hits"`
+
+	// Machine economy over the serial run.
+	MachinesBuilt  uint64 `json:"machines_built"`
+	MachinesReused uint64 `json:"machines_reused"`
+
+	// Core-path allocation counts (testing.AllocsPerRun).
+	AccessAllocsPerOp      float64 `json:"access_allocs_per_op"`
+	CTLoadAllocsPerOp      float64 `json:"ctload_allocs_per_op"`
+	MachineResetAllocs     float64 `json:"machine_reset_allocs"`
+	RunWorkloadAllocs      float64 `json:"run_workload_allocs"`
+	MachineBuildAllocBytes uint64  `json:"machine_build_alloc_bytes"`
+}
+
+// writeBenchSnapshot runs the perf snapshot suite and writes it as JSON.
+func writeBenchSnapshot(path string, selected []harness.Experiment, opts harness.Options) error {
+	snap := benchSnapshot{
+		Created:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Quick:       opts.Quick,
+		Experiments: len(selected),
+		Workers:     opts.Parallel,
+	}
+
+	// Serial and parallel wall time, cache off either way.
+	serialOpts := harness.Options{Quick: opts.Quick, Parallel: 1}
+	builtBefore, reusedBefore := cpu.MachinesBuilt(), cpu.MachinesReset()
+	start := time.Now()
+	harness.RunAll(selected, serialOpts)
+	snap.SerialWallMS = float64(time.Since(start).Microseconds()) / 1000
+	snap.MachinesBuilt = cpu.MachinesBuilt() - builtBefore
+	snap.MachinesReused = cpu.MachinesReset() - reusedBefore
+
+	start = time.Now()
+	harness.RunAll(selected, harness.Options{Quick: opts.Quick, Parallel: opts.Parallel})
+	snap.ParallelWallMS = float64(time.Since(start).Microseconds()) / 1000
+
+	// Cold vs warm result-cache runs against a throwaway directory.
+	if dir, err := os.MkdirTemp("", "ctbia-bench-cache-*"); err == nil {
+		defer os.RemoveAll(dir)
+		store, err := resultcache.Open(dir, resultcache.ReadWrite)
+		if err == nil {
+			cacheOpts := harness.Options{Quick: opts.Quick, Parallel: opts.Parallel, Cache: store}
+			start = time.Now()
+			harness.RunAll(selected, cacheOpts)
+			snap.CacheColdMS = float64(time.Since(start).Microseconds()) / 1000
+			start = time.Now()
+			results := harness.RunAll(selected, cacheOpts)
+			snap.CacheWarmMS = float64(time.Since(start).Microseconds()) / 1000
+			for _, r := range results {
+				if r.Cached {
+					snap.CacheHits++
+				}
+			}
+		}
+	}
+
+	// Allocation counts on the core paths. These must stay at zero for
+	// the access paths; the Go-test suite enforces the same budgets.
+	m := cpu.NewDefault()
+	var i uint64
+	snap.AccessAllocsPerOp = testing.AllocsPerRun(20000, func() {
+		m.Load64(memp.Addr(i*64) % (1 << 22))
+		i++
+	})
+	snap.CTLoadAllocsPerOp = testing.AllocsPerRun(20000, func() {
+		m.CTLoad64(memp.Addr(i*64) % (1 << 22))
+		i++
+	})
+	snap.MachineResetAllocs = testing.AllocsPerRun(10, func() { m.Reset() })
+	snap.RunWorkloadAllocs = testing.AllocsPerRun(5, func() {
+		harness.RunWorkload(workloads.Histogram{}, workloads.Params{Size: 500, Seed: 1}, ct.BIA{}, 1)
+	})
+
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	const builds = 8
+	for j := 0; j < builds; j++ {
+		_ = cpu.NewDefault()
+	}
+	runtime.ReadMemStats(&msAfter)
+	snap.MachineBuildAllocBytes = (msAfter.TotalAlloc - msBefore.TotalAlloc) / builds
+
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

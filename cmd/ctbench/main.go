@@ -8,11 +8,23 @@
 //	ctbench -exp fig2,fig9    # a comma-separated list
 //	ctbench -quick            # shrunken sizes for a fast smoke run
 //	ctbench -list             # list experiment IDs
-//	ctbench -parallel 8       # fan experiments and sweep points out
-//	                          # across 8 workers (tables byte-identical
-//	                          # to the serial run)
+//	ctbench -parallel 0       # 0 (the default) = one worker per CPU
+//	                          # (runtime.GOMAXPROCS); 1 = serial; N>1 =
+//	                          # exactly N workers. Tables are
+//	                          # byte-identical at every setting.
+//	ctbench -cache rw         # content-addressed result cache:
+//	                          # off (default) = always simulate,
+//	                          # rw = serve hits + store fresh results,
+//	                          # ro = serve hits, never write
+//	ctbench -cachedir DIR     # cache location (default
+//	                          # ~/.cache/ctbia/results)
 //	ctbench -json out.json    # machine-readable results: per-experiment
-//	                          # wall time, machine counts and table rows
+//	                          # wall time, machine counts, cache hits
+//	                          # and table rows
+//	ctbench -benchjson b.json # run the perf snapshot suite (serial +
+//	                          # parallel wall time, allocs/op on the
+//	                          # core paths, cache-hit re-run time) and
+//	                          # write it as JSON
 //	ctbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -28,6 +40,7 @@ import (
 
 	"ctbia/internal/cpu"
 	"ctbia/internal/harness"
+	"ctbia/internal/resultcache"
 )
 
 // jsonExperiment is one experiment's record in the -json report.
@@ -36,31 +49,48 @@ type jsonExperiment struct {
 	Title    string     `json:"title"`
 	WallMS   float64    `json:"wall_ms"`
 	Machines uint64     `json:"machines"`
+	Cached   bool       `json:"cached,omitempty"`
 	Headers  []string   `json:"headers,omitempty"`
 	Rows     [][]string `json:"rows,omitempty"`
 	Notes    []string   `json:"notes,omitempty"`
 }
 
-// jsonReport is the -json file layout. Per-experiment machine counts
-// are exact in serial runs; in parallel runs the attribution windows
-// overlap, but the run-level total stays exact — trajectory tooling
-// should trend the totals and the per-experiment wall times.
+// jsonReport is the -json file layout. "machines" counts simulated
+// machine uses (fresh builds + pool resets — pooling recycles machines,
+// so builds alone undercount scale); the split is reported alongside.
+// Per-experiment machine counts are exact in serial runs; in parallel
+// runs the attribution windows overlap, but the run-level total stays
+// exact — trajectory tooling should trend the totals and the
+// per-experiment wall times.
 type jsonReport struct {
-	Created     string           `json:"created"`
-	Quick       bool             `json:"quick"`
-	Parallel    int              `json:"parallel"`
-	GOMAXPROCS  int              `json:"gomaxprocs"`
-	WallMS      float64          `json:"wall_ms"`
-	Machines    uint64           `json:"machines"`
-	Experiments []jsonExperiment `json:"experiments"`
+	Created        string           `json:"created"`
+	Quick          bool             `json:"quick"`
+	Parallel       int              `json:"parallel"`
+	GOMAXPROCS     int              `json:"gomaxprocs"`
+	WallMS         float64          `json:"wall_ms"`
+	Machines       uint64           `json:"machines"`
+	MachinesBuilt  uint64           `json:"machines_built"`
+	MachinesReused uint64           `json:"machines_reused"`
+	CacheMode      string           `json:"cache_mode"`
+	CacheHits      int              `json:"cache_hits"`
+	CacheDir       string           `json:"cache_dir,omitempty"`
+	Experiments    []jsonExperiment `json:"experiments"`
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ctbench: ", err)
+	os.Exit(1)
 }
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id, comma-separated list, or 'all'")
 	quick := flag.Bool("quick", false, "use shrunken problem sizes")
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	parallel := flag.Int("parallel", 1, "worker count for experiments and sweep points (<=1: serial)")
-	jsonOut := flag.String("json", "", "write a machine-readable result file (wall times, machine counts, table rows)")
+	parallel := flag.Int("parallel", 0, "worker count for experiments and sweep points (0: one per CPU, 1: serial)")
+	cacheMode := flag.String("cache", "off", "result cache mode: off, rw (read+write) or ro (read-only)")
+	cacheDir := flag.String("cachedir", "", "result cache directory (default ~/.cache/ctbia/results)")
+	jsonOut := flag.String("json", "", "write a machine-readable result file (wall times, machine counts, cache hits, table rows)")
+	benchJSON := flag.String("benchjson", "", "run the perf snapshot suite and write it to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -86,41 +116,75 @@ func main() {
 		}
 	}
 
+	// -parallel 0 means "use every CPU": the tables are byte-identical
+	// at any worker count, so there is no reason to default to serial.
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	mode, err := resultcache.ParseMode(*cacheMode)
+	if err != nil {
+		fatal(err)
+	}
+	store, err := resultcache.Open(*cacheDir, mode)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ctbench: ", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "ctbench: ", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
 
-	opts := harness.Options{Quick: *quick, Parallel: *parallel}
+	opts := harness.Options{Quick: *quick, Parallel: workers, Cache: store}
+
+	if *benchJSON != "" {
+		if err := writeBenchSnapshot(*benchJSON, selected, opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	start := time.Now()
-	machinesBefore := cpu.MachinesBuilt()
+	builtBefore, reusedBefore := cpu.MachinesBuilt(), cpu.MachinesReset()
 	results := harness.RunAll(selected, opts)
 	wall := time.Since(start)
-	machines := cpu.MachinesBuilt() - machinesBefore
+	built := cpu.MachinesBuilt() - builtBefore
+	reused := cpu.MachinesReset() - reusedBefore
 
+	cacheHits := 0
 	for _, r := range results {
 		fmt.Print(r.Table.Render())
-		fmt.Printf("(%s in %v)\n\n", r.Experiment.ID, r.Wall.Round(time.Millisecond))
+		mark := ""
+		if r.Cached {
+			mark = ", cached"
+			cacheHits++
+		}
+		fmt.Printf("(%s in %v%s)\n\n", r.Experiment.ID, r.Wall.Round(time.Millisecond), mark)
 	}
-	fmt.Printf("total: %d experiments, %d machines, %v wall (parallel=%d)\n",
-		len(results), machines, wall.Round(time.Millisecond), *parallel)
+	fmt.Printf("total: %d experiments, %d machines (%d built, %d reused), %d cache hits, %v wall (parallel=%d, cache=%s)\n",
+		len(results), built+reused, built, reused, cacheHits, wall.Round(time.Millisecond), workers, mode)
 
 	if *jsonOut != "" {
 		report := jsonReport{
-			Created:    time.Now().UTC().Format(time.RFC3339),
-			Quick:      *quick,
-			Parallel:   *parallel,
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			WallMS:     float64(wall.Microseconds()) / 1000,
-			Machines:   machines,
+			Created:        time.Now().UTC().Format(time.RFC3339),
+			Quick:          *quick,
+			Parallel:       workers,
+			GOMAXPROCS:     runtime.GOMAXPROCS(0),
+			WallMS:         float64(wall.Microseconds()) / 1000,
+			Machines:       built + reused,
+			MachinesBuilt:  built,
+			MachinesReused: reused,
+			CacheMode:      mode.String(),
+			CacheHits:      cacheHits,
+			CacheDir:       store.Dir(),
 		}
 		for _, r := range results {
 			report.Experiments = append(report.Experiments, jsonExperiment{
@@ -128,6 +192,7 @@ func main() {
 				Title:    r.Experiment.Title,
 				WallMS:   float64(r.Wall.Microseconds()) / 1000,
 				Machines: r.Machines,
+				Cached:   r.Cached,
 				Headers:  r.Table.Headers,
 				Rows:     r.Table.Rows,
 				Notes:    r.Table.Notes,
@@ -135,25 +200,21 @@ func main() {
 		}
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ctbench: ", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "ctbench: ", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
 
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ctbench: ", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "ctbench: ", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		f.Close()
 	}

@@ -37,6 +37,15 @@ func (sc *SetCounter) CacheEvent(ev cache.Event) {
 	sc.counts[ev.Set]++
 }
 
+// WantsEvent implements cache.KindFilter: only per-set access counts
+// matter, so the hierarchy need not construct hit/fill/evict/dirty
+// events on this counter's behalf.
+func (sc *SetCounter) WantsEvent(k cache.EventKind) bool { return k == cache.EvAccess }
+
+// WantsLevel implements cache.LevelFilter: the counter watches exactly
+// one cache level.
+func (sc *SetCounter) WantsLevel(level int) bool { return level == sc.level }
+
 // Counts returns the per-set access counts. The caller must not mutate
 // the result without copying.
 func (sc *SetCounter) Counts() []uint64 { return sc.counts }
@@ -101,6 +110,10 @@ func (tr *Trace) CacheEvent(ev cache.Event) {
 	tr.n++
 	fmt.Fprintf(&tr.b, "%d%v%x%v%v;", ev.Level, ev.Kind, uint64(ev.Line), ev.Write, ev.Dirty)
 }
+
+// WantsLevel implements cache.LevelFilter, so a trace pinned to one
+// level does not force event construction at the others.
+func (tr *Trace) WantsLevel(level int) bool { return tr.levelMask&(1<<uint(level)) != 0 }
 
 // Len returns the number of recorded events.
 func (tr *Trace) Len() int { return tr.n }

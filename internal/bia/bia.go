@@ -276,6 +276,19 @@ func (t *Table) Peek(addr memp.Addr) (exist, dirty uint64, ok bool) {
 // ResetStats zeroes the counters without touching table contents.
 func (t *Table) ResetStats() { t.Stats = Stats{} }
 
+// Reset restores the table to its just-built cold state — no entries,
+// clock at zero, find memo dropped, stats cleared — without
+// reallocating and without detaching from its cache level.
+func (t *Table) Reset() {
+	for i := range t.entries {
+		t.entries[i] = entry{}
+	}
+	t.clock = 0
+	t.lastChunk = 0
+	t.lastEntry = nil
+	t.Stats = Stats{}
+}
+
 // Pages returns the page indices currently tracked, for tests.
 func (t *Table) Pages() []uint64 {
 	var out []uint64

@@ -410,3 +410,33 @@ func (c *Cache) PinnedLines() uint64 { return c.pinnedAll }
 // ResetStats zeroes the counters without touching cache contents, so a
 // warmup phase can be excluded from measurement.
 func (c *Cache) ResetStats() { c.Stats = Stats{} }
+
+// Reset restores the cache to its just-constructed cold state without
+// reallocating: all lines invalid, replacement clock at zero, the
+// Random-policy RNG reseeded, stats cleared. Only sets that currently
+// hold a valid line are scrubbed — invalid lines can carry stale
+// stamp/addr values from a previous life, but those fields are only
+// ever consulted for valid lines (find goes through the tag array and
+// the policy only compares stamps of lines filled since), so skipping
+// them keeps Reset proportional to the touched footprint, not the
+// 16 MiB LLC geometry.
+func (c *Cache) Reset() {
+	for s := 0; s < c.sets; s++ {
+		if c.validCnt[s] == 0 {
+			continue
+		}
+		base := s * c.cfg.Ways
+		for w := 0; w < c.cfg.Ways; w++ {
+			c.lines[base+w] = line{}
+			c.tags[base+w] = noTag
+		}
+		c.validCnt[s] = 0
+	}
+	c.clock = 0
+	c.rng.Seed(c.cfg.Seed + 1)
+	c.pinnedAll = 0
+	for i := range c.SliceTraffic {
+		c.SliceTraffic[i] = 0
+	}
+	c.Stats = Stats{}
+}

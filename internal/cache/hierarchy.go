@@ -107,6 +107,11 @@ func (h *Hierarchy) DRAMLatency() int { return h.dramLatency }
 // receive every kind.
 func (h *Hierarchy) Subscribe(l Listener) {
 	h.listeners = append(h.listeners, l)
+	h.mergeMasks(l)
+}
+
+// mergeMasks folds one listener's event appetite into the emit guards.
+func (h *Hierarchy) mergeMasks(l Listener) {
 	if f, ok := l.(KindFilter); ok {
 		for k := EvAccess; k <= EvDirty; k++ {
 			if f.WantsEvent(k) {
@@ -127,6 +132,29 @@ func (h *Hierarchy) Subscribe(l Listener) {
 	}
 }
 
+// ListenerCount returns the number of subscribed listeners; pair with
+// TruncateListeners to drop subscriptions added after a point in time.
+func (h *Hierarchy) ListenerCount() int { return len(h.listeners) }
+
+// TruncateListeners drops every listener subscribed after the first n
+// and recomputes the emit-guard masks from the survivors. The machine
+// pool uses it on Reset: a pooled machine keeps its construction-time
+// subscribers (the BIA) but sheds telemetry an experiment attached,
+// so a later borrower sees the event traffic of a fresh machine.
+func (h *Hierarchy) TruncateListeners(n int) {
+	if n < 0 || n > len(h.listeners) {
+		panic(fmt.Sprintf("cache: truncate to %d with %d listeners", n, len(h.listeners)))
+	}
+	for i := n; i < len(h.listeners); i++ {
+		h.listeners[i] = nil
+	}
+	h.listeners = h.listeners[:n]
+	h.wantMask, h.wantLevels = 0, 0
+	for _, l := range h.listeners {
+		h.mergeMasks(l)
+	}
+}
+
 // ResetStats zeroes all per-level and hierarchy counters, leaving cache
 // contents (and listeners) alone.
 func (h *Hierarchy) ResetStats() {
@@ -134,6 +162,18 @@ func (h *Hierarchy) ResetStats() {
 		c.ResetStats()
 	}
 	h.Stats = HierStats{}
+}
+
+// Reset restores every level to its cold state (see Cache.Reset) and
+// clears the hierarchy counters and the run-tunable knobs, without
+// touching the listener list — the caller decides which subscribers
+// survive (see TruncateListeners).
+func (h *Hierarchy) Reset() {
+	for _, c := range h.levels {
+		c.Reset()
+	}
+	h.Stats = HierStats{}
+	h.PrefetchNextLine = false
 }
 
 // emit delivers one event to every listener. Hot paths guard calls with

@@ -14,6 +14,7 @@ package cpu
 
 import (
 	"fmt"
+	"strings"
 	"sync/atomic"
 
 	"ctbia/internal/bia"
@@ -84,6 +85,12 @@ type Machine struct {
 	cfg Config
 	C   Counters
 
+	// baseListeners is the hierarchy's listener count right after
+	// construction (the BIA subscription, if any); Reset truncates the
+	// listener list back to it so telemetry subscribed by one borrower
+	// of a pooled machine never leaks into the next run.
+	baseListeners int
+
 	// streamParity halves the charged cost of streaming hits (two
 	// loads per cycle through the L1's dual ports).
 	streamParity int
@@ -106,6 +113,16 @@ var machinesBuilt atomic.Uint64
 // deltas are approximate there while whole-run deltas stay exact.
 func MachinesBuilt() uint64 { return machinesBuilt.Load() }
 
+// machinesReset counts Machine.Reset calls process-wide; built + reset
+// together count machine *uses*, the scale proxy the benchmark
+// trajectories record (pooling turns constructions into resets, so
+// neither count alone is comparable across PRs).
+var machinesReset atomic.Uint64
+
+// MachinesReset returns the number of Machine resets so far in this
+// process (see MachinesBuilt for the delta-attribution caveats).
+func MachinesReset() uint64 { return machinesReset.Load() }
+
 // New builds a machine from cfg.
 func New(cfg Config) *Machine {
 	if len(cfg.Levels) == 0 {
@@ -126,7 +143,29 @@ func New(cfg Config) *Machine {
 	for mode := range m.modeLUT {
 		m.modeLUT[mode] = m.computeModeFlags(AccessMode(mode))
 	}
+	m.baseListeners = m.Hier.ListenerCount()
 	return m
+}
+
+// Reset restores the machine to the state New left it in — cold caches,
+// empty BIA, zeroed memory and counters, allocator rewound — without
+// reallocating anything. A workload run on a Reset machine is
+// bit-identical to the same run on a fresh machine (the harness's
+// reset-equivalence test enforces this for every workload × strategy),
+// which is what makes pooling machines across experiment points safe.
+func (m *Machine) Reset() {
+	m.C = Counters{}
+	m.opSlop = 0
+	m.streamParity = 0
+	m.Mem.Reset()
+	m.Alloc.Reset()
+	m.Hier.TruncateListeners(m.baseListeners)
+	m.Hier.Reset()
+	m.Hier.Inclusive = m.cfg.Inclusive
+	if m.BIA != nil {
+		m.BIA.Reset()
+	}
+	machinesReset.Add(1)
 }
 
 // NewDefault builds a machine with DefaultConfig.
@@ -134,6 +173,21 @@ func NewDefault() *Machine { return New(DefaultConfig()) }
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// Fingerprint renders the configuration as a deterministic string for
+// content-addressed result caching. Every field that changes simulated
+// behaviour is included except custom SliceHash functions, which are
+// not introspectable — experiments that install one hard-code it, so
+// the harness's simulator-version salt covers those changes.
+func (c Config) Fingerprint() string {
+	var b strings.Builder
+	for _, l := range c.Levels {
+		fmt.Fprintf(&b, "%s:%d:%d:%d:%s:%d:%d;", l.Name, l.Size, l.Ways, l.Latency, l.Policy, l.Slices, l.Seed)
+	}
+	fmt.Fprintf(&b, "dram=%d;bia=%d/%d/%d/%d@L%d;incl=%v",
+		c.DRAMLatency, c.BIA.Entries, c.BIA.Ways, c.BIA.Latency, c.BIA.ChunkShift, c.BIALevel, c.Inclusive)
+	return b.String()
+}
 
 // BIALevel returns the cache level hosting the BIA, 0 if none.
 func (m *Machine) BIALevel() int { return m.cfg.BIALevel }

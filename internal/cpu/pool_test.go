@@ -1,0 +1,50 @@
+package cpu
+
+import (
+	"testing"
+
+	"ctbia/internal/memp"
+)
+
+// TestPoolRecyclesMachines pins the pool contract: a recycled machine
+// comes back reset (cold caches, zeroed counters) and Get never hands
+// out a machine built from a different config.
+func TestPoolRecyclesMachines(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BIALevel = 2
+	p := NewPool(cfg)
+
+	m := p.Get()
+	if m.BIA == nil {
+		t.Fatal("pool machine missing BIA despite BIALevel=2 config")
+	}
+	for i := 0; i < 2048; i++ {
+		m.Store64(memp.Addr(i*64)%(1<<20), uint64(i))
+	}
+	if m.C == (Counters{}) {
+		t.Fatal("warm-up left counters zero; test is vacuous")
+	}
+	p.Put(m)
+
+	got := p.Get()
+	if got.C != (Counters{}) {
+		t.Errorf("recycled machine has dirty counters: %+v", got.C)
+	}
+	if r := got.Report(); r != (New(cfg)).Report() {
+		t.Errorf("recycled machine report differs from a fresh machine's: %v", r)
+	}
+	p.Put(got)
+}
+
+// TestPoolConfigIsolation checks that pools with different configs
+// never cross-contaminate: a machine from the no-BIA pool has no BIA.
+func TestPoolConfigIsolation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BIALevel = 0
+	p0 := NewPool(cfg)
+	m := p0.Get()
+	if m.BIA != nil {
+		t.Error("no-BIA pool handed out a machine with a BIA")
+	}
+	p0.Put(m)
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"testing"
+
+	"ctbia/internal/ct"
+	"ctbia/internal/workloads"
+)
+
+// runWorkloadAllocBudget bounds the allocations of one pooled
+// RunWorkload call (machine from pool, full workload simulation,
+// verification, report). Measured at 22 allocs/op — the workload's own
+// input setup (slices of test data), not the access path, which is at
+// zero. The budget leaves headroom for small workload-side changes but
+// fails loudly if pooling regresses (a machine rebuild alone is
+// thousands of allocations).
+const runWorkloadAllocBudget = 64
+
+func measureRunWorkloadAllocs() float64 {
+	w := workloads.Histogram{}
+	p := workloads.Params{Size: 500, Seed: 1}
+	// Prime the pool so the measured runs recycle instead of build.
+	RunWorkload(w, p, ct.BIA{}, 1)
+	return testing.AllocsPerRun(5, func() {
+		RunWorkload(w, p, ct.BIA{}, 1)
+	})
+}
+
+func TestRunWorkloadAllocBudget(t *testing.T) {
+	if allocs := measureRunWorkloadAllocs(); allocs > runWorkloadAllocBudget {
+		t.Errorf("RunWorkload: %.0f allocs/op, budget is %d — machine pooling regressed?",
+			allocs, runWorkloadAllocBudget)
+	}
+}
+
+// BenchmarkRunWorkloadAllocs tracks the end-to-end cost of one pooled
+// experiment data point and fails when over the allocation budget.
+func BenchmarkRunWorkloadAllocs(b *testing.B) {
+	w := workloads.Histogram{}
+	p := workloads.Params{Size: 500, Seed: 1}
+	RunWorkload(w, p, ct.BIA{}, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		RunWorkload(w, p, ct.BIA{}, 1)
+	}
+	b.StopTimer()
+	if allocs := measureRunWorkloadAllocs(); allocs > runWorkloadAllocBudget {
+		b.Fatalf("RunWorkload: %.0f allocs/op, budget is %d", allocs, runWorkloadAllocBudget)
+	}
+}

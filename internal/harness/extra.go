@@ -92,12 +92,25 @@ func smallCacheConfig(biaLevel int) cpu.Config {
 	}
 }
 
+// smallPools recycles the small-hierarchy machines like tablePools
+// does for the Table 1 ones (index = BIALevel).
+var smallPools = func() [4]*cpu.Pool {
+	var pools [4]*cpu.Pool
+	for lvl := range pools {
+		pools[lvl] = cpu.NewPool(smallCacheConfig(lvl))
+	}
+	return pools
+}()
+
 func runSmall(w workloads.Workload, p workloads.Params, s ct.Strategy, biaLevel int) cpu.Report {
-	m := cpu.New(smallCacheConfig(biaLevel))
+	pool := smallPools[biaLevel]
+	m := pool.Get()
 	if got := w.Run(m, s, p); got != w.Reference(p) {
 		panic("harness: small-cache run corrupted results")
 	}
-	return m.Report()
+	r := m.Report()
+	pool.Put(m)
+	return r
 }
 
 func runThreshold(o Options) *Table {
@@ -129,7 +142,7 @@ func runThreshold(o Options) *Table {
 		{"bia (no threshold)", ct.BIA{}},
 		{"bia threshold=32", ct.BIA{Threshold: 32}},
 	} {
-		m := cpu.New(smallCacheConfig(1))
+		m := smallPools[1].Get()
 		if got := w.Run(m, c.s, p); got != w.Reference(p) {
 			panic("harness: threshold run corrupted results")
 		}
@@ -137,6 +150,7 @@ func runThreshold(o Options) *Table {
 		l1 := m.Hier.Level(1).Stats
 		t.AddRow(c.name, ratio(r.Cycles, ins.Cycles), count(r.Cycles),
 			count(l1.Fills+l1.Evictions), count(r.DRAM))
+		smallPools[1].Put(m)
 	}
 	t.Notes = append(t.Notes,
 		"the threshold path wins on latency (no L1/L2/LLC probe stack before DRAM) and eliminates the fill/eviction churn entirely")

@@ -9,6 +9,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"ctbia/internal/cpu"
+	"ctbia/internal/resultcache"
 )
 
 // Table is one experiment's output.
@@ -84,10 +87,14 @@ type Options struct {
 	Quick bool
 	// Parallel is the worker count for RunAll and for the fan-out
 	// inside the sweep experiments. Values <= 1 run everything
-	// serially. Every data point builds its own cpu.Machine (seeded
+	// serially. Every data point owns its own cpu.Machine (seeded
 	// RNGs and all state are per-machine), so any Parallel value
 	// produces tables byte-identical to the serial run.
 	Parallel int
+	// Cache, when non-nil, serves experiments from the
+	// content-addressed result store and persists fresh results to it
+	// (subject to the store's mode). See RunAll and CacheKey.
+	Cache *resultcache.Store
 }
 
 // parallel reports whether fan-out is enabled.
@@ -153,6 +160,41 @@ func IDs() []string {
 		out[i] = e.ID
 	}
 	return out
+}
+
+// SimVersionSalt versions the simulator's observable behaviour for the
+// result cache. Bump it in any PR that changes what an experiment
+// would measure — timing model, cache/BIA semantics, workload code,
+// experiment sizes, table formatting — so stale cached tables can
+// never be served. Pure-performance changes (pooling, allocation
+// elimination) that keep tables byte-identical do NOT need a bump.
+const SimVersionSalt = "ctbia-sim-pr2-v1"
+
+// strategySet names every ct.Strategy the experiments run, part of the
+// cache identity: adding or renaming a strategy invalidates entries.
+const strategySet = "insecure,bia@1,bia@2,bia@3,bia-macro,ct,ct-avx,preload,scratchpad"
+
+// CacheKey is the content address of one experiment's result under the
+// given options: the simulator version salt, the experiment identity,
+// the size-relevant options, the Table 1 machine fingerprint and the
+// strategy set. Parallelism is excluded — it never changes a cell.
+// Experiments that build non-default machines (small-cache ablations,
+// cross-core, sliced LLCs) hard-code those configs, so the salt covers
+// them.
+func CacheKey(e Experiment, o Options) string {
+	return cacheKeySalted(SimVersionSalt, e, o)
+}
+
+// cacheKeySalted is CacheKey with the salt explicit, so tests can
+// prove that a salt bump misses every entry stored under the old salt.
+func cacheKeySalted(salt string, e Experiment, o Options) string {
+	return resultcache.Key(
+		salt,
+		e.ID,
+		fmt.Sprintf("quick=%v", o.Quick),
+		cpu.DefaultConfig().Fingerprint(),
+		strategySet,
+	)
 }
 
 // ratio formats a/b as a multiplier.

@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"testing"
+
+	"ctbia/internal/attacker"
+	"ctbia/internal/cpu"
+	"ctbia/internal/ct"
+	"ctbia/internal/ctcrypto"
+	"ctbia/internal/workloads"
+)
+
+// The reset-equivalence tests are the safety net under the machine
+// pool: a Reset machine must be indistinguishable from a fresh one for
+// every workload × strategy the experiments run — same checksum, same
+// cpu.Report, same BIA statistics, and the same per-set telemetry
+// vector an attacker-model SetCounter would record. A divergence
+// anywhere here means pooling could silently change a published table.
+
+// resetStrategies spans the configurations the experiments compare.
+var resetStrategies = []struct {
+	name     string
+	s        ct.Strategy
+	biaLevel int
+}{
+	{"insecure", ct.Direct{}, 0},
+	{"bia-l1", ct.BIA{}, 1},
+	{"bia-l2", ct.BIA{}, 2},
+	{"bia-llc", ct.BIA{}, 3},
+	{"bia-macro", ct.BIAMacro{}, 1},
+	{"ct", ct.Linear{}, 0},
+	{"ct-avx", ct.LinearVec{}, 0},
+	{"preload", ct.Preload{}, 0},
+}
+
+// resetSize picks a quick-but-nontrivial size per workload.
+func resetSize(w workloads.Workload) int {
+	if w.Name() == "dijkstra" {
+		return 32
+	}
+	return 500
+}
+
+// dirty runs an unrelated workload/seed on m so the machine carries
+// state — warm caches, dirty lines, BIA entries, allocator regions,
+// telemetry subscriptions — that Reset must fully shed.
+func dirty(m *cpu.Machine, s ct.Strategy) {
+	attacker.NewSetCounter(m.Hier, 1) // stale subscription Reset must drop
+	w := workloads.Heappop{}
+	w.Run(m, s, workloads.Params{Size: 300, Seed: 99})
+	m.Hier.PrefetchNextLine = true
+}
+
+func TestResetEquivalenceWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		p := workloads.Params{Size: resetSize(w), Seed: 1}
+		for _, st := range resetStrategies {
+			fresh := MachineFor(st.biaLevel)
+			scFresh := attacker.NewSetCounter(fresh.Hier, 1)
+			sumFresh := w.Run(fresh, st.s, p)
+			repFresh := fresh.Report()
+
+			pooled := MachineFor(st.biaLevel)
+			dirty(pooled, st.s)
+			pooled.Reset()
+			scPooled := attacker.NewSetCounter(pooled.Hier, 1)
+			sumPooled := w.Run(pooled, st.s, p)
+			repPooled := pooled.Report()
+
+			label := w.Name() + "/" + st.name
+			if sumFresh != sumPooled {
+				t.Errorf("%s: checksum fresh %#x != pooled %#x", label, sumFresh, sumPooled)
+			}
+			if repFresh != repPooled {
+				t.Errorf("%s: report diverged\nfresh:  %v\npooled: %v", label, repFresh, repPooled)
+			}
+			if fresh.C != pooled.C {
+				t.Errorf("%s: core counters diverged\nfresh:  %+v\npooled: %+v", label, fresh.C, pooled.C)
+			}
+			if fresh.HasBIA() && fresh.BIA.Stats != pooled.BIA.Stats {
+				t.Errorf("%s: BIA stats diverged\nfresh:  %+v\npooled: %+v", label, fresh.BIA.Stats, pooled.BIA.Stats)
+			}
+			if !attacker.Equal(scFresh.Counts(), scPooled.Counts()) {
+				t.Errorf("%s: per-set telemetry vectors diverged", label)
+			}
+		}
+	}
+}
+
+func TestResetEquivalenceKernels(t *testing.T) {
+	kernelStrategies := []struct {
+		name     string
+		s        ct.Strategy
+		biaLevel int
+	}{
+		{"insecure", ct.Direct{}, 0},
+		{"bia-l1", ct.BIA{}, 1},
+		{"ct", ct.Linear{}, 0},
+	}
+	for _, k := range ctcrypto.All() {
+		p := ctcrypto.Params{Blocks: 4, Seed: 1}
+		for _, st := range kernelStrategies {
+			fresh := MachineFor(st.biaLevel)
+			sumFresh := k.Run(fresh, st.s, p)
+			repFresh := fresh.Report()
+
+			pooled := MachineFor(st.biaLevel)
+			dirty(pooled, st.s)
+			pooled.Reset()
+			sumPooled := k.Run(pooled, st.s, p)
+			repPooled := pooled.Report()
+
+			label := k.Name() + "/" + st.name
+			if sumFresh != sumPooled {
+				t.Errorf("%s: checksum fresh %#x != pooled %#x", label, sumFresh, sumPooled)
+			}
+			if repFresh != repPooled {
+				t.Errorf("%s: report diverged\nfresh:  %v\npooled: %v", label, repFresh, repPooled)
+			}
+		}
+	}
+}
+
+// TestResetEquivalenceReusedPool runs a workload through cpu.Pool twice
+// end-to-end (the exact RunWorkload code path) and pins that the second
+// (recycled) run reports identically to the first (fresh) run.
+func TestResetEquivalenceReusedPool(t *testing.T) {
+	cfg := cpu.DefaultConfig()
+	cfg.BIALevel = 1
+	pool := cpu.NewPool(cfg)
+	w := workloads.Histogram{}
+	p := workloads.Params{Size: 700, Seed: 3}
+
+	m1 := pool.Get()
+	sum1 := w.Run(m1, ct.BIA{}, p)
+	rep1 := m1.Report()
+	pool.Put(m1)
+
+	m2 := pool.Get()
+	if m2 != m1 {
+		t.Log("pool handed back a different machine (GC reclaimed); equivalence still checked")
+	}
+	sum2 := w.Run(m2, ct.BIA{}, p)
+	rep2 := m2.Report()
+	pool.Put(m2)
+
+	if sum1 != sum2 || rep1 != rep2 {
+		t.Errorf("pooled rerun diverged: sums %#x/%#x\nfirst:  %v\nsecond: %v", sum1, sum2, rep1, rep2)
+	}
+}
+
+// TestResetSubsetInvariant re-checks the BIA subset-of-truth invariant
+// on a machine that has been Reset and re-run: the bitmap must mirror
+// only the post-reset cache state, never a previous life's.
+func TestResetSubsetInvariant(t *testing.T) {
+	m := MachineFor(1)
+	w := workloads.Permutation{}
+	w.Run(m, ct.BIA{}, workloads.Params{Size: 400, Seed: 5})
+	m.Reset()
+	w.Run(m, ct.BIA{}, workloads.Params{Size: 250, Seed: 6})
+	if err := m.BIA.CheckSubset(m.Hier); err != nil {
+		t.Fatalf("subset invariant after reset: %v", err)
+	}
+}

@@ -11,37 +11,64 @@ import (
 	"ctbia/internal/workloads"
 )
 
+// tablePools recycles the Table 1 machines that RunWorkload/RunKernel
+// burn through, one pool per BIA placement (index = BIALevel, 0 = no
+// BIA). Building such a machine allocates ~9 MB of cache metadata;
+// before pooling, `ctbench -exp all` built 200+ of them and spent a
+// large fraction of its wall time allocating and collecting that
+// churn. Reset restores cold state bit-identically (see the
+// reset-equivalence test), so pooling never changes a table cell.
+var tablePools = func() [4]*cpu.Pool {
+	var pools [4]*cpu.Pool
+	for lvl := range pools {
+		cfg := cpu.DefaultConfig()
+		cfg.BIALevel = lvl
+		pools[lvl] = cpu.NewPool(cfg)
+	}
+	return pools
+}()
+
 // MachineFor builds a Table 1 machine with the BIA at the given level
-// (0 = no BIA, for the insecure and software-CT runs).
+// (0 = no BIA, for the insecure and software-CT runs). The machine is
+// always freshly constructed — experiments that subscribe telemetry or
+// otherwise hold on to machine state use this; the pooled fast path is
+// internal to RunWorkload/RunKernel.
 func MachineFor(biaLevel int) *cpu.Machine {
 	cfg := cpu.DefaultConfig()
 	cfg.BIALevel = biaLevel
 	return cpu.New(cfg)
 }
 
-// RunWorkload executes one workload under one strategy on a fresh
-// Table 1 machine, verifies the result against the pure-Go reference
-// (an experiment with a wrong answer must never be reported), and
-// returns the machine's report.
+// RunWorkload executes one workload under one strategy on a cold
+// Table 1 machine drawn from the per-placement pool, verifies the
+// result against the pure-Go reference (an experiment with a wrong
+// answer must never be reported), and returns the machine's report.
+// On a verification panic the machine is abandoned rather than pooled.
 func RunWorkload(w workloads.Workload, p workloads.Params, s ct.Strategy, biaLevel int) cpu.Report {
-	m := MachineFor(biaLevel)
+	pool := tablePools[biaLevel]
+	m := pool.Get()
 	got := w.Run(m, s, p)
 	if want := w.Reference(p); got != want {
 		panic(fmt.Sprintf("harness: %s/%s produced checksum %#x, reference %#x — simulator bug",
 			w.Name(), s.Name(), got, want))
 	}
-	return m.Report()
+	r := m.Report()
+	pool.Put(m)
+	return r
 }
 
 // RunKernel is RunWorkload for the crypto kernels.
 func RunKernel(k ctcrypto.Kernel, p ctcrypto.Params, s ct.Strategy, biaLevel int) cpu.Report {
-	m := MachineFor(biaLevel)
+	pool := tablePools[biaLevel]
+	m := pool.Get()
 	got := k.Run(m, s, p)
 	if want := k.Reference(p); got != want {
 		panic(fmt.Sprintf("harness: %s/%s produced checksum %#x, reference %#x — simulator bug",
 			k.Name(), s.Name(), got, want))
 	}
-	return m.Report()
+	r := m.Report()
+	pool.Put(m)
+	return r
 }
 
 // strategyRuns couples the paper's three compared configurations.
@@ -115,20 +142,36 @@ func forEachIndexed(n, workers int, fn func(i int)) {
 
 // Result is one experiment's outcome from RunAll: the rendered table
 // plus the wall time and the number of simulated machines the
-// experiment built (the counters cmd/ctbench's -json trajectory files
-// record across PRs).
+// experiment used (the counters cmd/ctbench's -json trajectory files
+// record across PRs). Cached marks results served from the result
+// cache instead of simulation; their Machines count is zero.
 type Result struct {
 	Experiment Experiment
 	Table      *Table
 	Wall       time.Duration
 	Machines   uint64
+	Cached     bool
 }
+
+// machineUses counts simulated-machine acquisitions: fresh builds plus
+// pool resets. With pooling, neither count alone is comparable to the
+// pre-pool "machines built" trajectory metric; their sum still counts
+// one per simulated run, which is the scale proxy the metric is for.
+func machineUses() uint64 { return cpu.MachinesBuilt() + cpu.MachinesReset() }
 
 // RunAll executes the given experiments — all registered ones when exps
 // is nil — with o.Parallel workers, collecting results in input order so
 // the output is byte-identical to a serial run. Each experiment (and,
-// inside the sweep experiments, each data point) owns fresh machines,
+// inside the sweep experiments, each data point) owns cold machines,
 // so parallelism changes wall time only, never a table cell.
+//
+// With o.Cache set, experiments whose identity key (simulator version
+// salt, experiment ID, Quick flag, Table 1 config fingerprint,
+// strategy set) already has a stored table are served from the cache
+// without simulating; fresh results are persisted for the next run
+// unless the store is read-only. o.Parallel is deliberately not part
+// of the key: parallelism never changes a table cell, so serial and
+// parallel runs share cache entries.
 func RunAll(exps []Experiment, o Options) []Result {
 	if exps == nil {
 		exps = Experiments()
@@ -136,13 +179,32 @@ func RunAll(exps []Experiment, o Options) []Result {
 	results := make([]Result, len(exps))
 	forEachIndexed(len(exps), o.Parallel, func(i int) {
 		start := time.Now()
-		before := cpu.MachinesBuilt()
+		var key string
+		if o.Cache != nil {
+			key = CacheKey(exps[i], o)
+			var cached Table
+			if o.Cache.Load(key, &cached) {
+				results[i] = Result{
+					Experiment: exps[i],
+					Table:      &cached,
+					Wall:       time.Since(start),
+					Cached:     true,
+				}
+				return
+			}
+		}
+		before := machineUses()
 		table := exps[i].Run(o)
 		results[i] = Result{
 			Experiment: exps[i],
 			Table:      table,
 			Wall:       time.Since(start),
-			Machines:   cpu.MachinesBuilt() - before,
+			Machines:   machineUses() - before,
+		}
+		if o.Cache != nil {
+			// Best-effort: a failed write costs the next run a
+			// recompute, which is the cache's miss behaviour anyway.
+			_ = o.Cache.Save(key, table)
 		}
 	})
 	return results

@@ -170,6 +170,19 @@ func (m *Memory) Write64(addr Addr, v uint64) {
 	m.Write(addr, b[:])
 }
 
+// Reset restores the memory to its freshly-mapped state — every byte
+// reads as zero again — without releasing the page buffers: the pages
+// stay mapped, zeroed in place, so a pooled machine re-running a
+// deterministic workload (same allocator, same addresses) touches no
+// new memory at all. The only observable difference from a fresh
+// Memory is TouchedPages, which keeps reporting the union of pages
+// ever written; reads and writes behave identically either way.
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		*p = [PageSize]byte{}
+	}
+}
+
 // TouchedPages returns the sorted indices of pages that have been
 // written, mainly for tests and debugging dumps.
 func (m *Memory) TouchedPages() []uint64 {
@@ -211,6 +224,15 @@ const AllocBase Addr = 0x10000
 
 // NewAllocator returns an allocator starting at AllocBase.
 func NewAllocator() *Allocator { return &Allocator{next: AllocBase} }
+
+// Reset rewinds the allocator to its initial state, forgetting every
+// region while keeping the backing array. A pooled machine's next run
+// re-allocates the same regions at the same addresses, which is what
+// keeps pooled runs bit-identical to fresh-machine runs.
+func (a *Allocator) Reset() {
+	a.next = AllocBase
+	a.regions = a.regions[:0]
+}
 
 // Alloc reserves size bytes, page-aligned, and remembers the region
 // under name. Size zero is allowed and yields an empty region.

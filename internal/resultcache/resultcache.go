@@ -1,0 +1,215 @@
+// Package resultcache is a content-addressed store for experiment
+// results. Every experiment in this repository is deterministic: the
+// same simulator version, experiment code, machine configuration and
+// options always produce the same table. Hashing that identity into a
+// key therefore lets repeated `ctbench` invocations skip re-simulating
+// experiments whose inputs have not changed — the second run of
+// `ctbench -exp all` becomes a directory of small JSON reads.
+//
+// The store is deliberately dumb: keys are opaque hex strings computed
+// by the caller (see harness's cache key, which folds in a simulator
+// version salt that must be bumped whenever simulated behaviour
+// changes), values are JSON files named <key>.json, writes go through
+// a temp-file rename so concurrent writers can never expose a torn
+// file, and any unreadable or undecodable entry is treated as a miss —
+// a corrupted cache costs a recompute, never a wrong table.
+package resultcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Mode selects how the store behaves.
+type Mode int
+
+// Store modes.
+const (
+	// Off disables the cache entirely (Open returns a nil store).
+	Off Mode = iota
+	// ReadWrite serves hits and persists new results.
+	ReadWrite
+	// ReadOnly serves hits but never writes — for CI jobs that must
+	// not mutate shared state, and for debugging what a cache holds.
+	ReadOnly
+)
+
+// ParseMode maps the -cache flag values onto a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off":
+		return Off, nil
+	case "rw":
+		return ReadWrite, nil
+	case "ro":
+		return ReadOnly, nil
+	}
+	return Off, fmt.Errorf("resultcache: unknown mode %q (want off, rw or ro)", s)
+}
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case ReadWrite:
+		return "rw"
+	case ReadOnly:
+		return "ro"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// DefaultDir is where results live unless overridden: the user cache
+// directory (~/.cache/ctbia/results on Linux), falling back to the
+// system temp directory when the home lookup fails (e.g. minimal CI
+// containers without $HOME).
+func DefaultDir() string {
+	if d, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(d, "ctbia", "results")
+	}
+	return filepath.Join(os.TempDir(), "ctbia-results")
+}
+
+// Key hashes an ordered list of identity parts into a cache key. Parts
+// are length-prefixed before hashing so no concatenation of different
+// part lists can collide ("ab","c" vs "a","bc").
+func Key(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Store is one result directory. A nil *Store is valid and behaves as
+// a cache that always misses and never writes, so callers can thread
+// an optional cache through without nil checks. Stats counters are
+// atomic; Load/Save themselves are safe for concurrent use.
+type Store struct {
+	dir  string
+	mode Mode
+
+	hits, misses, writes atomic.Uint64
+}
+
+// Open returns a store over dir (DefaultDir when empty) in the given
+// mode. Off yields a nil store. ReadWrite creates the directory;
+// ReadOnly does not (a missing directory is just an always-miss cache).
+func Open(dir string, mode Mode) (*Store, error) {
+	if mode == Off {
+		return nil, nil
+	}
+	if dir == "" {
+		dir = DefaultDir()
+	}
+	if mode == ReadWrite {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("resultcache: %w", err)
+		}
+	}
+	return &Store{dir: dir, mode: mode}, nil
+}
+
+// Dir returns the store's directory ("" for a nil store).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// Mode returns the store's mode (Off for a nil store).
+func (s *Store) Mode() Mode {
+	if s == nil {
+		return Off
+	}
+	return s.mode
+}
+
+// path maps a key to its file. Keys are caller-produced hex, but guard
+// against anything path-like ending up in a filename anyway.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, cleanKey(key)+".json")
+}
+
+func cleanKey(key string) string {
+	out := make([]byte, 0, len(key))
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// Load decodes the entry for key into v and reports whether it hit.
+// Missing, unreadable and undecodable entries all report false:
+// corruption is a miss (costing a recompute), never an error. On a
+// false return v may hold a partial decode and must not be used.
+func (s *Store) Load(key string, v any) bool {
+	if s == nil {
+		return false
+	}
+	buf, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		return false
+	}
+	if err := json.Unmarshal(buf, v); err != nil {
+		s.misses.Add(1)
+		return false
+	}
+	s.hits.Add(1)
+	return true
+}
+
+// Save persists v under key. A nil or read-only store ignores the
+// write. The value lands via temp file + rename, so a concurrent
+// reader sees either the old entry or the complete new one.
+func (s *Store) Save(key string, v any) error {
+	if s == nil || s.mode != ReadWrite {
+		return nil
+	}
+	buf, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	_, werr := tmp.Write(append(buf, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: writing %s: %v/%v", tmp.Name(), werr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// Stats returns the hit/miss/write counts since Open.
+func (s *Store) Stats() (hits, misses, writes uint64) {
+	if s == nil {
+		return 0, 0, 0
+	}
+	return s.hits.Load(), s.misses.Load(), s.writes.Load()
+}

@@ -1,0 +1,180 @@
+package resultcache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	Name string
+	Vals []int
+}
+
+func openRW(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHitMiss(t *testing.T) {
+	s := openRW(t)
+	key := Key("salt-v1", "fig7a", "quick=false")
+
+	var got payload
+	if s.Load(key, &got) {
+		t.Fatal("empty store reported a hit")
+	}
+	want := payload{Name: "fig7a", Vals: []int{1, 2, 3}}
+	if err := s.Save(key, want); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Load(key, &got) {
+		t.Fatal("stored entry reported a miss")
+	}
+	if got.Name != want.Name || len(got.Vals) != 3 || got.Vals[2] != 3 {
+		t.Errorf("round trip mangled the payload: %+v", got)
+	}
+	if hits, misses, writes := s.Stats(); hits != 1 || misses != 1 || writes != 1 {
+		t.Errorf("stats = %d/%d/%d, want 1/1/1", hits, misses, writes)
+	}
+}
+
+// TestSaltBumpInvalidates is the contract the simulator version salt
+// relies on: an entry stored under one salt must never be served under
+// another, so bumping the salt orphans every stale table.
+func TestSaltBumpInvalidates(t *testing.T) {
+	s := openRW(t)
+	oldKey := Key("sim-v1", "fig8", "quick=false")
+	newKey := Key("sim-v2", "fig8", "quick=false")
+	if oldKey == newKey {
+		t.Fatal("salt does not change the key")
+	}
+	if err := s.Save(oldKey, payload{Name: "stale"}); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if s.Load(newKey, &got) {
+		t.Fatal("entry stored under the old salt served for the new salt")
+	}
+}
+
+// TestKeyLengthPrefixing pins that part boundaries are part of the
+// identity: ("ab","c") and ("a","bc") concatenate identically but must
+// hash differently.
+func TestKeyLengthPrefixing(t *testing.T) {
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Error(`Key("ab","c") == Key("a","bc"): parts are not length-prefixed`)
+	}
+	if Key("a") == Key("a", "") {
+		t.Error("trailing empty part does not change the key")
+	}
+}
+
+// TestCorruptedEntryIsMiss writes garbage where an entry should be and
+// checks the store treats it as a miss (recompute), never an error.
+func TestCorruptedEntryIsMiss(t *testing.T) {
+	s := openRW(t)
+	key := Key("salt", "exp")
+	if err := s.Save(key, payload{Name: "good"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(key), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if s.Load(key, &got) {
+		t.Fatal("corrupted entry reported a hit")
+	}
+	// The corrupted file must not poison future writes.
+	if err := s.Save(key, payload{Name: "repaired"}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Load(key, &got) || got.Name != "repaired" {
+		t.Fatalf("rewrite after corruption failed: %+v", got)
+	}
+}
+
+// TestReadOnlyNeverWrites opens a store in ro mode and checks Save is
+// a no-op: no files appear, and even the directory is not created.
+func TestReadOnlyNeverWrites(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "never-created")
+	s, err := Open(dir, ReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(Key("a"), payload{Name: "x"}); err != nil {
+		t.Fatalf("read-only Save returned error: %v", err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Errorf("read-only store created its directory (stat err: %v)", err)
+	}
+
+	// A pre-populated directory serves hits read-only.
+	rw := openRW(t)
+	key := Key("shared")
+	if err := rw.Save(key, payload{Name: "seeded"}); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Open(rw.Dir(), ReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if !ro.Load(key, &got) || got.Name != "seeded" {
+		t.Errorf("read-only store missed a seeded entry: %+v", got)
+	}
+	if err := ro.Save(Key("new"), payload{}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(rw.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("read-only Save added files: %d entries in dir", len(entries))
+	}
+}
+
+func TestNilStore(t *testing.T) {
+	var s *Store
+	var got payload
+	if s.Load(Key("k"), &got) {
+		t.Error("nil store reported a hit")
+	}
+	if err := s.Save(Key("k"), payload{}); err != nil {
+		t.Error("nil store Save errored:", err)
+	}
+	if h, m, w := s.Stats(); h != 0 || m != 0 || w != 0 {
+		t.Error("nil store has nonzero stats")
+	}
+	if s.Mode() != Off || s.Dir() != "" {
+		t.Error("nil store mode/dir not Off/empty")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for in, want := range map[string]Mode{"off": Off, "rw": ReadWrite, "ro": ReadOnly} {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseMode("yes"); err == nil {
+		t.Error("ParseMode accepted an unknown mode")
+	}
+	if Off.String() != "off" || ReadWrite.String() != "rw" || ReadOnly.String() != "ro" {
+		t.Error("Mode.String round trip broken")
+	}
+}
+
+func TestOpenOffIsNil(t *testing.T) {
+	s, err := Open("", Off)
+	if err != nil || s != nil {
+		t.Errorf("Open(Off) = %v, %v; want nil, nil", s, err)
+	}
+}
