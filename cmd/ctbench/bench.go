@@ -27,23 +27,34 @@ type benchSnapshot struct {
 	Quick       bool   `json:"quick"`
 	Experiments int    `json:"experiments"`
 
-	// Wall times.
-	SerialWallMS   float64 `json:"serial_wall_ms"`
-	ParallelWallMS float64 `json:"parallel_wall_ms"`
-	Workers        int     `json:"parallel_workers"`
-	CacheColdMS    float64 `json:"cache_cold_wall_ms"`
-	CacheWarmMS    float64 `json:"cache_warm_wall_ms"`
-	CacheHits      uint64  `json:"cache_warm_hits"`
+	// Wall times. Serial and parallel walls run with the trace engine
+	// off, so they stay comparable with pre-trace snapshots; the trace
+	// walls measure the same serial selection with the engine on —
+	// cold (recording) then warm (every repeatable point replayed).
+	SerialWallMS       float64 `json:"serial_wall_ms"`
+	ParallelWallMS     float64 `json:"parallel_wall_ms"`
+	Workers            int     `json:"parallel_workers"`
+	TraceColdMS        float64 `json:"trace_cold_wall_ms"`
+	TraceWarmMS        float64 `json:"trace_warm_wall_ms"`
+	TraceReplaySpeedup float64 `json:"trace_replay_speedup"`
+	TraceRecords       uint64  `json:"trace_records"`
+	TraceReplays       uint64  `json:"trace_warm_replays"`
+	CacheColdMS        float64 `json:"cache_cold_wall_ms"`
+	CacheWarmMS        float64 `json:"cache_warm_wall_ms"`
+	CacheHits          uint64  `json:"cache_warm_hits"`
 
 	// Machine economy over the serial run.
 	MachinesBuilt  uint64 `json:"machines_built"`
 	MachinesReused uint64 `json:"machines_reused"`
 
 	// Core-path allocation counts (testing.AllocsPerRun).
+	// RunWorkloadAllocs measures the direct (trace-off) path;
+	// ReplayWorkloadAllocs the same point served by trace replay.
 	AccessAllocsPerOp      float64 `json:"access_allocs_per_op"`
 	CTLoadAllocsPerOp      float64 `json:"ctload_allocs_per_op"`
 	MachineResetAllocs     float64 `json:"machine_reset_allocs"`
 	RunWorkloadAllocs      float64 `json:"run_workload_allocs"`
+	ReplayWorkloadAllocs   float64 `json:"replay_workload_allocs"`
 	MachineBuildAllocBytes uint64  `json:"machine_build_alloc_bytes"`
 }
 
@@ -58,7 +69,10 @@ func writeBenchSnapshot(path string, selected []harness.Experiment, opts harness
 		Workers:     opts.Parallel,
 	}
 
-	// Serial and parallel wall time, cache off either way.
+	// Serial and parallel wall time with the trace engine off, so both
+	// stay comparable with pre-trace snapshots (cache off either way).
+	harness.SetTraceMode(harness.TraceOff)
+	defer harness.SetTraceMode(harness.TraceOn)
 	serialOpts := harness.Options{Quick: opts.Quick, Parallel: 1}
 	builtBefore, reusedBefore := cpu.MachinesBuilt(), cpu.MachinesReset()
 	start := time.Now()
@@ -67,14 +81,42 @@ func writeBenchSnapshot(path string, selected []harness.Experiment, opts harness
 	snap.MachinesBuilt = cpu.MachinesBuilt() - builtBefore
 	snap.MachinesReused = cpu.MachinesReset() - reusedBefore
 
+	// With a single effective worker the "parallel" configuration runs
+	// the exact same plain loop as the serial one (RunAll clamps workers
+	// to GOMAXPROCS and forEachIndexed degenerates at 1), so re-running
+	// it would only measure host noise; reuse the serial measurement.
+	if max := runtime.GOMAXPROCS(0); snap.Workers > max {
+		snap.Workers = max
+	}
+	if snap.Workers <= 1 {
+		snap.ParallelWallMS = snap.SerialWallMS
+	} else {
+		start = time.Now()
+		harness.RunAll(selected, harness.Options{Quick: opts.Quick, Parallel: opts.Parallel})
+		snap.ParallelWallMS = float64(time.Since(start).Microseconds()) / 1000
+	}
+
+	// Trace engine on: a cold serial run records every repeatable
+	// point, a second run replays them through the batched interpreter.
+	harness.SetTraceMode(harness.TraceOn)
+	harness.ResetTraces()
 	start = time.Now()
-	harness.RunAll(selected, harness.Options{Quick: opts.Quick, Parallel: opts.Parallel})
-	snap.ParallelWallMS = float64(time.Since(start).Microseconds()) / 1000
+	harness.RunAll(selected, serialOpts)
+	snap.TraceColdMS = float64(time.Since(start).Microseconds()) / 1000
+	snap.TraceRecords, _, _ = harness.TraceStats()
+	start = time.Now()
+	harness.RunAll(selected, serialOpts)
+	snap.TraceWarmMS = float64(time.Since(start).Microseconds()) / 1000
+	_, snap.TraceReplays, _ = harness.TraceStats()
+	if snap.TraceWarmMS > 0 {
+		snap.TraceReplaySpeedup = snap.SerialWallMS / snap.TraceWarmMS
+	}
+	harness.SetTraceMode(harness.TraceOff)
 
 	// Cold vs warm result-cache runs against a throwaway directory.
 	if dir, err := os.MkdirTemp("", "ctbia-bench-cache-*"); err == nil {
 		defer os.RemoveAll(dir)
-		store, err := resultcache.Open(dir, resultcache.ReadWrite)
+		store, err := resultcache.Open(dir, resultcache.ReadWrite, "")
 		if err == nil {
 			cacheOpts := harness.Options{Quick: opts.Quick, Parallel: opts.Parallel, Cache: store}
 			start = time.Now()
@@ -104,9 +146,16 @@ func writeBenchSnapshot(path string, selected []harness.Experiment, opts harness
 		i++
 	})
 	snap.MachineResetAllocs = testing.AllocsPerRun(10, func() { m.Reset() })
-	snap.RunWorkloadAllocs = testing.AllocsPerRun(5, func() {
+	benchPoint := func() {
 		harness.RunWorkload(workloads.Histogram{}, workloads.Params{Size: 500, Seed: 1}, ct.BIA{}, 1)
-	})
+	}
+	snap.RunWorkloadAllocs = testing.AllocsPerRun(5, benchPoint)
+	// The same point through the trace engine: AllocsPerRun's warm-up
+	// call records, the measured runs replay.
+	harness.SetTraceMode(harness.TraceOn)
+	harness.ResetTraces()
+	snap.ReplayWorkloadAllocs = testing.AllocsPerRun(5, benchPoint)
+	harness.SetTraceMode(harness.TraceOff)
 
 	var msBefore, msAfter runtime.MemStats
 	runtime.ReadMemStats(&msBefore)

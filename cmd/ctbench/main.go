@@ -15,9 +15,22 @@
 //	ctbench -cache rw         # content-addressed result cache:
 //	                          # off (default) = always simulate,
 //	                          # rw = serve hits + store fresh results,
-//	                          # ro = serve hits, never write
+//	                          # ro = serve hits, never write,
+//	                          # clear = empty the cache (results and
+//	                          # traces) and exit. A rw cache also prunes
+//	                          # entries from older simulator versions at
+//	                          # startup.
 //	ctbench -cachedir DIR     # cache location (default
 //	                          # ~/.cache/ctbia/results)
+//	ctbench -trace off        # trace-replay engine: on (default) =
+//	                          # record each simulation point's operation
+//	                          # stream once and replay repeats through
+//	                          # the batched interpreter; record-only =
+//	                          # record but never replay; off = always
+//	                          # simulate from scratch
+//	ctbench -tracedir DIR     # persist traces to DIR (default: the
+//	                          # traces/ subdirectory of the cache dir
+//	                          # when -cache rw, else in-memory only)
 //	ctbench -json out.json    # machine-readable results: per-experiment
 //	                          # wall time, machine counts, cache hits
 //	                          # and table rows
@@ -33,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -74,6 +88,9 @@ type jsonReport struct {
 	CacheMode      string           `json:"cache_mode"`
 	CacheHits      int              `json:"cache_hits"`
 	CacheDir       string           `json:"cache_dir,omitempty"`
+	TraceMode      string           `json:"trace_mode"`
+	TraceRecords   uint64           `json:"trace_records"`
+	TraceReplays   uint64           `json:"trace_replays"`
 	Experiments    []jsonExperiment `json:"experiments"`
 }
 
@@ -87,8 +104,10 @@ func main() {
 	quick := flag.Bool("quick", false, "use shrunken problem sizes")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	parallel := flag.Int("parallel", 0, "worker count for experiments and sweep points (0: one per CPU, 1: serial)")
-	cacheMode := flag.String("cache", "off", "result cache mode: off, rw (read+write) or ro (read-only)")
+	cacheMode := flag.String("cache", "off", "result cache mode: off, rw (read+write), ro (read-only) or clear (empty the cache and exit)")
 	cacheDir := flag.String("cachedir", "", "result cache directory (default ~/.cache/ctbia/results)")
+	traceMode := flag.String("trace", "on", "trace-replay engine: on, off or record-only")
+	traceDir := flag.String("tracedir", "", "trace persistence directory (default <cachedir>/traces when -cache rw)")
 	jsonOut := flag.String("json", "", "write a machine-readable result file (wall times, machine counts, cache hits, table rows)")
 	benchJSON := flag.String("benchjson", "", "run the perf snapshot suite and write it to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -123,13 +142,49 @@ func main() {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	// -cache clear is an action, not a mode: empty the store and exit.
+	if *cacheMode == "clear" {
+		store, err := resultcache.Open(*cacheDir, resultcache.ReadWrite, "")
+		if err != nil {
+			fatal(err)
+		}
+		n, err := store.Clear()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cleared %d cached entries from %s\n", n, store.Dir())
+		return
+	}
+
 	mode, err := resultcache.ParseMode(*cacheMode)
 	if err != nil {
 		fatal(err)
 	}
-	store, err := resultcache.Open(*cacheDir, mode)
+	// Opening with the simulator version salt prunes entries stored by
+	// older simulator versions (they could never be served again).
+	store, err := resultcache.Open(*cacheDir, mode, harness.SimVersionSalt)
 	if err != nil {
 		fatal(err)
+	}
+	if store.Pruned() > 0 {
+		fmt.Fprintf(os.Stderr, "ctbench: pruned %d stale cache entries (simulator version changed)\n", store.Pruned())
+	}
+
+	tmode, err := harness.ParseTraceMode(*traceMode)
+	if err != nil {
+		fatal(err)
+	}
+	harness.SetTraceMode(tmode)
+	// Persist traces next to the result cache when it is writable, or
+	// wherever -tracedir points; otherwise traces stay in memory.
+	tdir := *traceDir
+	if tdir == "" && store.Mode() == resultcache.ReadWrite {
+		tdir = filepath.Join(store.Dir(), resultcache.TracesSubdir)
+	}
+	if tmode != harness.TraceOff && tdir != "" {
+		if err := harness.SetTraceDir(tdir); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *cpuProfile != "" {
@@ -169,8 +224,10 @@ func main() {
 		}
 		fmt.Printf("(%s in %v%s)\n\n", r.Experiment.ID, r.Wall.Round(time.Millisecond), mark)
 	}
-	fmt.Printf("total: %d experiments, %d machines (%d built, %d reused), %d cache hits, %v wall (parallel=%d, cache=%s)\n",
-		len(results), built+reused, built, reused, cacheHits, wall.Round(time.Millisecond), workers, mode)
+	traceRecs, traceReps, _ := harness.TraceStats()
+	fmt.Printf("total: %d experiments, %d machines (%d built, %d reused), %d cache hits, %d traces recorded, %d replayed, %v wall (parallel=%d, cache=%s, trace=%s)\n",
+		len(results), built+reused, built, reused, cacheHits, traceRecs, traceReps,
+		wall.Round(time.Millisecond), workers, mode, tmode)
 
 	if *jsonOut != "" {
 		report := jsonReport{
@@ -185,6 +242,9 @@ func main() {
 			CacheMode:      mode.String(),
 			CacheHits:      cacheHits,
 			CacheDir:       store.Dir(),
+			TraceMode:      tmode.String(),
+			TraceRecords:   traceRecs,
+			TraceReplays:   traceReps,
 		}
 		for _, r := range results {
 			report.Experiments = append(report.Experiments, jsonExperiment{

@@ -221,11 +221,19 @@ func (h *Hierarchy) AccessFrom(start int, addr memp.Addr, flags Flags) Result {
 		}
 		return Result{Cycles: h.dramLatency, HitLevel: 0}
 	}
+	return h.demandAccess(start, start, addr.Line(), flags, 0)
+}
+
+// demandAccess probes levels probe..N for la and charges their
+// latencies on top of cycles (the latency the caller already paid for
+// levels it probed itself); on a hit below start the levels start..hit-1
+// are filled, and a full miss fills start..N from DRAM. AccessFrom
+// enters with probe == start; the batched paths enter with
+// probe == start+1 after an inlined start-level miss.
+func (h *Hierarchy) demandAccess(start, probe int, la memp.Addr, flags Flags, cycles int) Result {
 	write := flags&FlagWrite != 0
-	la := addr.Line()
 	wantAcc := h.wants(EvAccess)
-	cycles := 0
-	for i := start; i <= len(h.levels); i++ {
+	for i := probe; i <= len(h.levels); i++ {
 		c := h.levels[i-1]
 		cycles += c.cfg.Latency
 		c.Stats.Accesses++
@@ -269,6 +277,96 @@ func (h *Hierarchy) AccessFrom(start int, addr memp.Addr, flags Flags) Result {
 	h.fillRange(start, len(h.levels), la, write, flags)
 	h.maybePrefetch(la)
 	return Result{Cycles: cycles, HitLevel: 0}
+}
+
+// AccessBatch performs n demand accesses at base, base+stride, ...,
+// all with the same flags, starting at L1 — semantically identical to n
+// AccessFrom(1, ...) calls, but with the L1 probe inlined and no Result
+// or event plumbing per access. The caller must guarantee that no
+// listener is subscribed and flags carry neither FlagUncached nor a
+// bypass (the cpu replay engine checks both). It returns the number of
+// accesses that hit in the L1 (the caller charges those at L1 latency
+// or streaming throughput) and the total latency of the remaining
+// accesses.
+func (h *Hierarchy) AccessBatch(base memp.Addr, stride int64, n int, flags Flags) (l1Hits, missCycles int) {
+	c := h.levels[0]
+	write := flags&FlagWrite != 0
+	noLRU := flags&FlagNoLRU != 0
+	addr := base
+	for k := 0; k < n; k++ {
+		la := addr.Line()
+		c.Stats.Accesses++
+		s := c.SetOf(la)
+		if c.SliceTraffic != nil {
+			c.SliceTraffic[s/c.setsPerSlc]++
+		}
+		if w := c.findIn(s, la); w >= 0 {
+			c.Stats.Hits++
+			if !noLRU {
+				c.touch(s, w)
+			}
+			if write {
+				c.set(s)[w].dirty = true
+			}
+			l1Hits++
+		} else {
+			c.Stats.Misses++
+			missCycles += h.demandAccess(1, 2, la, flags, c.cfg.Latency).Cycles
+		}
+		addr += memp.Addr(stride)
+	}
+	return l1Hits, missCycles
+}
+
+// AccessBatchRMW performs n load+store pairs: per iteration a load at
+// base+i*stride with flags, then a store at the same address with
+// flags|FlagWrite — the body of every linearized store sweep. Hit
+// accounting matches AccessBatch (the combined L1-hit count drives the
+// caller's streaming parity; its cycle sum depends only on the count,
+// not on which of the interleaved accesses hit).
+func (h *Hierarchy) AccessBatchRMW(base memp.Addr, stride int64, n int, flags Flags) (l1Hits, missCycles int) {
+	c := h.levels[0]
+	noLRU := flags&FlagNoLRU != 0
+	addr := base
+	for k := 0; k < n; k++ {
+		la := addr.Line()
+		// Load probe.
+		c.Stats.Accesses++
+		s := c.SetOf(la)
+		if c.SliceTraffic != nil {
+			c.SliceTraffic[s/c.setsPerSlc]++
+		}
+		if w := c.findIn(s, la); w >= 0 {
+			c.Stats.Hits++
+			if !noLRU {
+				c.touch(s, w)
+			}
+			l1Hits++
+		} else {
+			c.Stats.Misses++
+			missCycles += h.demandAccess(1, 2, la, flags, c.cfg.Latency).Cycles
+		}
+		// Store probe: after the load the line is resident in L1 unless
+		// a pinned-full set dropped the fill, so re-probe rather than
+		// assume.
+		c.Stats.Accesses++
+		if c.SliceTraffic != nil {
+			c.SliceTraffic[s/c.setsPerSlc]++
+		}
+		if w := c.findIn(s, la); w >= 0 {
+			c.Stats.Hits++
+			if !noLRU {
+				c.touch(s, w)
+			}
+			c.set(s)[w].dirty = true
+			l1Hits++
+		} else {
+			c.Stats.Misses++
+			missCycles += h.demandAccess(1, 2, la, flags|FlagWrite, c.cfg.Latency).Cycles
+		}
+		addr += memp.Addr(stride)
+	}
+	return l1Hits, missCycles
 }
 
 // fillRange installs la into levels start..end (1-based, inclusive).

@@ -20,6 +20,7 @@ import (
 	"ctbia/internal/bia"
 	"ctbia/internal/cache"
 	"ctbia/internal/memp"
+	"ctbia/internal/trace"
 )
 
 // Config describes a full machine.
@@ -100,6 +101,11 @@ type Machine struct {
 	// (four mode bits, sixteen combos); the sweep loops resolve their
 	// constant mode with one load instead of four branch tests.
 	modeLUT [16]cache.Flags
+
+	// rec, when non-nil, captures every stat-relevant primitive the
+	// machine executes (see SetRecorder); the stream replays through
+	// ExecTrace bit-identically.
+	rec *trace.Recorder
 }
 
 // machinesBuilt counts Machine constructions process-wide; the harness
@@ -155,6 +161,7 @@ func New(cfg Config) *Machine {
 // which is what makes pooling machines across experiment points safe.
 func (m *Machine) Reset() {
 	m.C = Counters{}
+	m.rec = nil
 	m.opSlop = 0
 	m.streamParity = 0
 	m.Mem.Reset()
@@ -211,6 +218,9 @@ func (m *Machine) Op(n int) {
 	if n < 0 {
 		panic("cpu: negative op count")
 	}
+	if m.rec != nil && n > 0 {
+		m.rec.Op(n)
+	}
 	m.retire(n)
 	m.C.Cycles += uint64(n)
 }
@@ -232,6 +242,9 @@ func (m *Machine) OpStream(n int) {
 	if n < 0 {
 		panic("cpu: negative op count")
 	}
+	if m.rec != nil && n > 0 {
+		m.rec.OpStream(n)
+	}
 	m.retire(n)
 	// opSlop is non-negative, so / and % of the power-of-two issue
 	// width reduce to shift and mask (this runs once per sweep line).
@@ -246,6 +259,9 @@ func (m *Machine) OpStream(n int) {
 // out-of-order execution fully pipelines a linearization sweep; misses
 // always pay their full latency.
 func (m *Machine) access(addr memp.Addr, flags cache.Flags) cache.Result {
+	if m.rec != nil {
+		m.rec.Access(uint64(addr), uint32(flags))
+	}
 	m.retire(1)
 	start := 1
 	if flags&flagBypassToBIA != 0 {
@@ -386,6 +402,9 @@ type Report struct {
 // the paper's programs touch their inputs during (unmeasured-here)
 // initialization, leaving the caches warm when the kernel starts.
 func (m *Machine) ResetStats() {
+	if m.rec != nil {
+		m.rec.ResetStats()
+	}
 	m.C = Counters{}
 	m.opSlop = 0
 	m.streamParity = 0
@@ -401,6 +420,9 @@ func (m *Machine) ResetStats() {
 func (m *Machine) WarmRegion(base memp.Addr, size uint64) {
 	if size == 0 {
 		return
+	}
+	if m.rec != nil {
+		m.rec.Warm(uint64(base), size)
 	}
 	last := (base + memp.Addr(size-1)).Line()
 	for la := base.Line(); la <= last; la += memp.LineSize {

@@ -36,9 +36,13 @@ func (m *Machine) MacroCTLoad(pageBase, addr memp.Addr, bitmask uint64, w Width)
 	if m.BIA.ChunkShift() != memp.PageShift {
 		panic("cpu: macro ops are defined at page granularity (M=12)")
 	}
+	addrToRead := pageBase.Page() | memp.Addr(addr.PageOffset())
+	if m.rec != nil {
+		// The macro-op header's accounting is exactly a CTLoad header's.
+		m.rec.CTLoad(uint64(addrToRead))
+	}
 	m.retire(1) // the macro-op itself
 	m.C.CTLoads++
-	addrToRead := pageBase.Page() | memp.Addr(addr.PageOffset())
 	existence, _ := m.BIA.LookupOrInstall(addrToRead)
 	hit, cyc := m.Hier.CTProbeLoad(m.cfg.BIALevel, addrToRead)
 	if m.BIA.Latency() > cyc {
@@ -70,9 +74,12 @@ func (m *Machine) MacroCTStore(pageBase, addr memp.Addr, bitmask uint64, v uint6
 	if m.BIA == nil {
 		panic("cpu: MacroCTStore on a machine without BIA")
 	}
+	addrToWrite := pageBase.Page() | memp.Addr(addr.PageOffset())
+	if m.rec != nil {
+		m.rec.MacroStoreHdr(uint64(addrToWrite))
+	}
 	m.retire(1)
 	m.C.CTStores++
-	addrToWrite := pageBase.Page() | memp.Addr(addr.PageOffset())
 
 	// Internal CTLoad (Alg. 3 line 7).
 	_, _ = m.BIA.LookupOrInstall(addrToWrite)

@@ -24,7 +24,7 @@ func cacheExp(t *testing.T) Experiment {
 // to the simulated one — the property the CI cache smoke test asserts
 // over the full `-exp all` run.
 func TestRunAllCacheRoundTrip(t *testing.T) {
-	store, err := resultcache.Open(t.TempDir(), resultcache.ReadWrite)
+	store, err := resultcache.Open(t.TempDir(), resultcache.ReadWrite, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestRunAllCacheKeySeparatesOptions(t *testing.T) {
 // instead of serving garbage or failing.
 func TestRunAllCorruptedEntryRecomputes(t *testing.T) {
 	dir := t.TempDir()
-	store, err := resultcache.Open(dir, resultcache.ReadWrite)
+	store, err := resultcache.Open(dir, resultcache.ReadWrite, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestRunAllCorruptedEntryRecomputes(t *testing.T) {
 // untouched; against a seeded store it serves hits.
 func TestRunAllReadOnlyCache(t *testing.T) {
 	dir := t.TempDir()
-	ro, err := resultcache.Open(dir, resultcache.ReadOnly)
+	ro, err := resultcache.Open(dir, resultcache.ReadOnly, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestRunAllReadOnlyCache(t *testing.T) {
 		t.Errorf("read-only run wrote %d files to the cache dir", len(entries))
 	}
 
-	rw, err := resultcache.Open(dir, resultcache.ReadWrite)
+	rw, err := resultcache.Open(dir, resultcache.ReadWrite, "")
 	if err != nil {
 		t.Fatal(err)
 	}

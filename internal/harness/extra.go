@@ -102,15 +102,26 @@ var smallPools = func() [4]*cpu.Pool {
 	return pools
 }()
 
-func runSmall(w workloads.Workload, p workloads.Params, s ct.Strategy, biaLevel int) cpu.Report {
-	pool := smallPools[biaLevel]
-	m := pool.Get()
-	if got := w.Run(m, s, p); got != w.Reference(p) {
-		panic("harness: small-cache run corrupted results")
+// smallPoolFP mirrors tablePoolFP for the small-hierarchy machines:
+// the different fingerprint keeps their traces disjoint from the
+// Table 1 ones even for identical (workload, params, strategy) points.
+var smallPoolFP = func() [4]string {
+	var fps [4]string
+	for lvl := range fps {
+		fps[lvl] = smallCacheConfig(lvl).Fingerprint()
 	}
-	r := m.Report()
-	pool.Put(m)
-	return r
+	return fps
+}()
+
+// runSmall is RunWorkload on the small-hierarchy machines, sharing the
+// trace engine (the config fingerprint in the key separates the two
+// machine families).
+func runSmall(w workloads.Workload, p workloads.Params, s ct.Strategy, biaLevel int) cpu.Report {
+	return runTraced(smallPools[biaLevel],
+		workloadTraceKey(w, p, s, biaLevel, smallPoolFP[biaLevel]),
+		w.Name()+"/"+s.Name(),
+		func() uint64 { return w.Reference(p) },
+		func(m *cpu.Machine) uint64 { return w.Run(m, s, p) })
 }
 
 func runThreshold(o Options) *Table {

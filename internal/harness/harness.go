@@ -87,9 +87,11 @@ type Options struct {
 	Quick bool
 	// Parallel is the worker count for RunAll and for the fan-out
 	// inside the sweep experiments. Values <= 1 run everything
-	// serially. Every data point owns its own cpu.Machine (seeded
-	// RNGs and all state are per-machine), so any Parallel value
-	// produces tables byte-identical to the serial run.
+	// serially; RunAll clamps values above GOMAXPROCS, where extra
+	// workers only add scheduling overhead. Every data point owns its
+	// own cpu.Machine (seeded RNGs and all state are per-machine), so
+	// any Parallel value produces tables byte-identical to the serial
+	// run.
 	Parallel int
 	// Cache, when non-nil, serves experiments from the
 	// content-addressed result store and persists fresh results to it

@@ -1,7 +1,7 @@
 package harness
 
 import (
-	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -28,6 +28,18 @@ var tablePools = func() [4]*cpu.Pool {
 	return pools
 }()
 
+// tablePoolFP precomputes each Table 1 pool's config fingerprint so
+// trace keys don't rebuild it per run.
+var tablePoolFP = func() [4]string {
+	var fps [4]string
+	for lvl := range fps {
+		cfg := cpu.DefaultConfig()
+		cfg.BIALevel = lvl
+		fps[lvl] = cfg.Fingerprint()
+	}
+	return fps
+}()
+
 // MachineFor builds a Table 1 machine with the BIA at the given level
 // (0 = no BIA, for the insecure and software-CT runs). The machine is
 // always freshly constructed — experiments that subscribe telemetry or
@@ -43,32 +55,24 @@ func MachineFor(biaLevel int) *cpu.Machine {
 // Table 1 machine drawn from the per-placement pool, verifies the
 // result against the pure-Go reference (an experiment with a wrong
 // answer must never be reported), and returns the machine's report.
-// On a verification panic the machine is abandoned rather than pooled.
+// Runs go through the trace engine (see trace.go): the first execution
+// of a point records its operation stream, repeats replay it through
+// the batched interpreter and re-verify against the reference.
 func RunWorkload(w workloads.Workload, p workloads.Params, s ct.Strategy, biaLevel int) cpu.Report {
-	pool := tablePools[biaLevel]
-	m := pool.Get()
-	got := w.Run(m, s, p)
-	if want := w.Reference(p); got != want {
-		panic(fmt.Sprintf("harness: %s/%s produced checksum %#x, reference %#x — simulator bug",
-			w.Name(), s.Name(), got, want))
-	}
-	r := m.Report()
-	pool.Put(m)
-	return r
+	return runTraced(tablePools[biaLevel],
+		workloadTraceKey(w, p, s, biaLevel, tablePoolFP[biaLevel]),
+		w.Name()+"/"+s.Name(),
+		func() uint64 { return w.Reference(p) },
+		func(m *cpu.Machine) uint64 { return w.Run(m, s, p) })
 }
 
 // RunKernel is RunWorkload for the crypto kernels.
 func RunKernel(k ctcrypto.Kernel, p ctcrypto.Params, s ct.Strategy, biaLevel int) cpu.Report {
-	pool := tablePools[biaLevel]
-	m := pool.Get()
-	got := k.Run(m, s, p)
-	if want := k.Reference(p); got != want {
-		panic(fmt.Sprintf("harness: %s/%s produced checksum %#x, reference %#x — simulator bug",
-			k.Name(), s.Name(), got, want))
-	}
-	r := m.Report()
-	pool.Put(m)
-	return r
+	return runTraced(tablePools[biaLevel],
+		kernelTraceKey(k, p, s, biaLevel, tablePoolFP[biaLevel]),
+		k.Name()+"/"+s.Name(),
+		func() uint64 { return k.Reference(p) },
+		func(m *cpu.Machine) uint64 { return k.Run(m, s, p) })
 }
 
 // strategyRuns couples the paper's three compared configurations.
@@ -112,6 +116,13 @@ func runAllStrategies(w workloads.Workload, p workloads.Params, parallel bool) s
 // forEachIndexed runs fn(0..n-1) on up to `workers` goroutines. Results
 // are the caller's responsibility to collect into index-addressed slots,
 // which keeps output order deterministic regardless of scheduling.
+//
+// workers <= 1 degenerates to a plain loop — no goroutines, no
+// channels — so a serial run pays nothing for the machinery. With a
+// worker per item there is no contention to arbitrate, so each item
+// gets its own goroutine directly instead of feeding an unbuffered
+// channel (whose per-item send/receive rendezvous made a single-CPU
+// "parallel" run measurably slower than serial).
 func forEachIndexed(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
@@ -122,8 +133,19 @@ func forEachIndexed(n, workers int, fn func(i int)) {
 		}
 		return
 	}
-	idx := make(chan int)
 	var wg sync.WaitGroup
+	if workers >= n {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				fn(i)
+			}(i)
+		}
+		wg.Wait()
+		return
+	}
+	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -175,6 +197,13 @@ func machineUses() uint64 { return cpu.MachinesBuilt() + cpu.MachinesReset() }
 func RunAll(exps []Experiment, o Options) []Result {
 	if exps == nil {
 		exps = Experiments()
+	}
+	// More workers than CPUs cannot help a compute-bound simulation and
+	// the scheduling overhead can make it slower than serial (the PR 2
+	// numbers on a single-CPU host did exactly that), so clamp. The
+	// clamped value propagates into the sweep experiments via o.
+	if max := runtime.GOMAXPROCS(0); o.Parallel > max {
+		o.Parallel = max
 	}
 	results := make([]Result, len(exps))
 	forEachIndexed(len(exps), o.Parallel, func(i int) {

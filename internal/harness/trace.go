@@ -1,0 +1,403 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"ctbia/internal/cpu"
+	"ctbia/internal/ct"
+	"ctbia/internal/ctcrypto"
+	"ctbia/internal/resultcache"
+	"ctbia/internal/trace"
+	"ctbia/internal/workloads"
+)
+
+// The trace-replay engine behind RunWorkload/RunKernel: the first
+// execution of a (workload, params, strategy, machine config) point
+// records the machine's operation stream; repeats replay the stream
+// through the batched interpreter instead of re-running the workload
+// front end. Sweep experiments re-run many identical points (Fig. 7
+// shares sizes with Fig. 2/8, the ablations revisit the motivation
+// points), so a full `ctbench -exp all` replays a large fraction of its
+// simulated work.
+//
+// Replay is trusted only as far as it can be re-verified cheaply: a
+// stored trace carries the workload checksum and the expected report,
+// the checksum is recomputed from the pure-Go reference on every
+// replay, and the replayed report must equal the stored one. Any
+// mismatch — a stale disk file, a corrupted entry, behaviour drift —
+// silently falls back to recording fresh. Strategies whose behaviour is
+// not a pure function of their value (interference hooks, the stateful
+// scratchpad strategy) are never traced.
+
+// TraceMode selects how RunWorkload/RunKernel use the trace engine.
+type TraceMode int
+
+// Trace modes. The zero value is TraceOn: tracing is the default.
+const (
+	// TraceOn records on first execution and replays on repeats.
+	TraceOn TraceMode = iota
+	// TraceRecordOnly records (overwriting) but never replays — for
+	// priming a persistent trace directory or measuring record cost.
+	TraceRecordOnly
+	// TraceOff disables the engine entirely.
+	TraceOff
+)
+
+// ParseTraceMode maps the -trace flag values onto a TraceMode.
+func ParseTraceMode(s string) (TraceMode, error) {
+	switch s {
+	case "on":
+		return TraceOn, nil
+	case "record-only":
+		return TraceRecordOnly, nil
+	case "off":
+		return TraceOff, nil
+	}
+	return TraceOff, fmt.Errorf("harness: unknown trace mode %q (want on, off or record-only)", s)
+}
+
+// String names the mode.
+func (m TraceMode) String() string {
+	switch m {
+	case TraceOn:
+		return "on"
+	case TraceRecordOnly:
+		return "record-only"
+	case TraceOff:
+		return "off"
+	}
+	return fmt.Sprintf("TraceMode(%d)", int(m))
+}
+
+// traceEntry is one stored stream with its verification anchors.
+type traceEntry struct {
+	ops []trace.Op
+	sum uint64     // workload checksum the recording run produced
+	rep cpu.Report // report the recording run produced
+}
+
+// maxTraceOps caps one trace's compressed records (~40 MB). A stream
+// too irregular to compress below it aborts its recording — and the
+// abort is remembered (see the dead set), because the growth cost paid
+// before aborting is the engine's only overhead over a plain run.
+const maxTraceOps = 1 << 20
+
+// maxTraceOpsTotal caps the in-memory store across all entries; beyond
+// it new traces are simply not stored.
+const maxTraceOpsTotal = 8 << 20
+
+// traceDebug (env CTBIA_TRACE_DEBUG) logs, per run, why a point did not
+// replay: untraceable (impure strategy), dead (recording aborted — with
+// the record/event counts that tripped the compression gate or the
+// cap), or a repeated direct run of a dead key. This is how encoding
+// gaps show up: a compressible pattern the recorder doesn't fuse yet
+// appears here as a high-event abort.
+var traceDebug = os.Getenv("CTBIA_TRACE_DEBUG") != ""
+
+var traceEngine = struct {
+	mu      sync.RWMutex
+	mode    TraceMode
+	dir     string // "" = no persistence
+	entries map[string]*traceEntry
+	ops     int64 // total records held across entries
+	// dead remembers keys whose recording aborted (stream past
+	// maxTraceOps), so repeats run direct instead of paying the
+	// doomed recording again.
+	dead map[string]struct{}
+}{entries: make(map[string]*traceEntry), dead: make(map[string]struct{})}
+
+var (
+	traceRecords   atomic.Uint64
+	traceReplays   atomic.Uint64
+	traceRerecords atomic.Uint64
+)
+
+// SetTraceMode switches the engine's mode (default TraceOn).
+func SetTraceMode(m TraceMode) {
+	traceEngine.mu.Lock()
+	traceEngine.mode = m
+	traceEngine.mu.Unlock()
+}
+
+// TraceModeNow returns the engine's current mode.
+func TraceModeNow() TraceMode {
+	traceEngine.mu.RLock()
+	defer traceEngine.mu.RUnlock()
+	return traceEngine.mode
+}
+
+// SetTraceDir sets the directory traces persist to ("" disables
+// persistence, the default). The directory is created eagerly so a
+// misconfigured path surfaces here, not as silently-unsaved traces.
+func SetTraceDir(dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("harness: trace dir: %w", err)
+		}
+	}
+	traceEngine.mu.Lock()
+	traceEngine.dir = dir
+	traceEngine.mu.Unlock()
+	return nil
+}
+
+// ResetTraces empties the in-memory store and zeroes the engine
+// counters, leaving any persistent directory alone. Benchmarks use it
+// to separate cold (recording) from warm (replaying) runs.
+func ResetTraces() {
+	traceEngine.mu.Lock()
+	traceEngine.entries = make(map[string]*traceEntry)
+	traceEngine.ops = 0
+	traceEngine.dead = make(map[string]struct{})
+	traceEngine.mu.Unlock()
+	traceRecords.Store(0)
+	traceReplays.Store(0)
+	traceRerecords.Store(0)
+}
+
+// TraceStats returns the engine's counters since the last ResetTraces:
+// streams recorded, runs served by replay, and stale/corrupt entries
+// that were silently re-recorded.
+func TraceStats() (records, replays, rerecords uint64) {
+	return traceRecords.Load(), traceReplays.Load(), traceRerecords.Load()
+}
+
+// strategyFingerprint returns a string capturing everything about s
+// that can influence a run, and whether the strategy is traceable at
+// all. Only pure-value strategies qualify: an interference Hook makes
+// behaviour call-site dependent, and the scratchpad strategy carries
+// mutable state across calls.
+func strategyFingerprint(s ct.Strategy) (string, bool) {
+	switch v := s.(type) {
+	case ct.Direct:
+		return "insecure", true
+	case ct.Linear:
+		return "ct", true
+	case ct.LinearVec:
+		return "ct-avx", true
+	case ct.BIAMacro:
+		return "bia-macro", true
+	case ct.Preload:
+		if v.Hook == nil {
+			return "preload", true
+		}
+	case ct.BIA:
+		if v.Hook == nil {
+			return fmt.Sprintf("bia/t=%d", v.Threshold), true
+		}
+	}
+	return "", false
+}
+
+// workloadTraceKey is the identity of one RunWorkload point: simulator
+// salt, workload, exact params, strategy fingerprint, BIA placement and
+// machine-config fingerprint. Empty means untraceable.
+func workloadTraceKey(w workloads.Workload, p workloads.Params, s ct.Strategy, biaLevel int, poolFP string) string {
+	fp, ok := strategyFingerprint(s)
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf("%s\x1fw:%s\x1f%d/%d/%d\x1f%s\x1f%d\x1f%s",
+		SimVersionSalt, w.Name(), p.Size, p.Seed, p.Ops, fp, biaLevel, poolFP)
+}
+
+// kernelTraceKey is workloadTraceKey for the crypto kernels.
+func kernelTraceKey(k ctcrypto.Kernel, p ctcrypto.Params, s ct.Strategy, biaLevel int, poolFP string) string {
+	fp, ok := strategyFingerprint(s)
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf("%s\x1fk:%s\x1f%d/%d\x1f%s\x1f%d\x1f%s",
+		SimVersionSalt, k.Name(), p.Blocks, p.Seed, fp, biaLevel, poolFP)
+}
+
+// traceFilePath maps a key to its persistent file (content-addressed
+// like the result cache; the full key is embedded in the file and
+// checked on load).
+func traceFilePath(dir, key string) string {
+	return filepath.Join(dir, resultcache.Key(key)+".trace")
+}
+
+// lookupTrace finds a stored stream in memory, falling back to the
+// persistent directory. Disk entries are validated (CRC, embedded key)
+// and memoized; anything unreadable is a miss.
+func lookupTrace(key string) *traceEntry {
+	traceEngine.mu.RLock()
+	e := traceEngine.entries[key]
+	dir := traceEngine.dir
+	traceEngine.mu.RUnlock()
+	if e != nil || dir == "" {
+		return e
+	}
+	buf, err := os.ReadFile(traceFilePath(dir, key))
+	if err != nil {
+		return nil
+	}
+	fkey, meta, ops, err := trace.Decode(buf)
+	if err != nil || fkey != key || len(meta) != 9 {
+		return nil
+	}
+	e = &traceEntry{ops: ops, sum: meta[0], rep: unpackReport(meta[1:])}
+	memoTrace(key, e)
+	return e
+}
+
+// memoTrace inserts an entry into the in-memory store, respecting the
+// global budget (over budget the entry is simply not kept).
+func memoTrace(key string, e *traceEntry) {
+	traceEngine.mu.Lock()
+	if old, ok := traceEngine.entries[key]; ok {
+		traceEngine.ops -= int64(len(old.ops))
+		delete(traceEngine.entries, key)
+	}
+	if traceEngine.ops+int64(len(e.ops)) <= maxTraceOpsTotal {
+		traceEngine.entries[key] = e
+		traceEngine.ops += int64(len(e.ops))
+	}
+	traceEngine.mu.Unlock()
+}
+
+// storeTrace memoizes a freshly recorded entry and persists it if a
+// trace directory is configured (best-effort, temp file + rename).
+func storeTrace(key string, e *traceEntry) {
+	memoTrace(key, e)
+	traceEngine.mu.RLock()
+	dir := traceEngine.dir
+	traceEngine.mu.RUnlock()
+	if dir == "" {
+		return
+	}
+	meta := make([]uint64, 0, 9)
+	meta = append(meta, e.sum)
+	meta = append(meta, packReport(e.rep)...)
+	buf := trace.Encode(key, meta, e.ops)
+	tmp, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(buf)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil || os.Rename(tmp.Name(), traceFilePath(dir, key)) != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// dropTrace forgets a stale entry everywhere, including its disk file,
+// so it cannot be re-loaded and fail again.
+func dropTrace(key string) {
+	traceEngine.mu.Lock()
+	if old, ok := traceEngine.entries[key]; ok {
+		traceEngine.ops -= int64(len(old.ops))
+		delete(traceEngine.entries, key)
+	}
+	dir := traceEngine.dir
+	traceEngine.mu.Unlock()
+	if dir != "" {
+		os.Remove(traceFilePath(dir, key))
+	}
+}
+
+// packReport flattens a report for trace-file metadata.
+func packReport(r cpu.Report) []uint64 {
+	return []uint64{r.Cycles, r.Insts, r.L1IRefs, r.L1DRefs, r.L2Refs, r.LLCRefs, r.LLMisses, r.DRAM}
+}
+
+// unpackReport is packReport's inverse.
+func unpackReport(m []uint64) cpu.Report {
+	return cpu.Report{
+		Cycles: m[0], Insts: m[1], L1IRefs: m[2], L1DRefs: m[3],
+		L2Refs: m[4], LLCRefs: m[5], LLMisses: m[6], DRAM: m[7],
+	}
+}
+
+// verifySum enforces the harness invariant that no experiment reports
+// numbers from a run with a wrong answer.
+func verifySum(label string, got, want uint64) {
+	if got != want {
+		panic(fmt.Sprintf("harness: %s produced checksum %#x, reference %#x — simulator bug",
+			label, got, want))
+	}
+}
+
+// runTraced executes one simulation point through the trace engine: a
+// stored stream whose checksum and report re-verify is replayed on a
+// pooled machine; otherwise the workload runs for real (recording it
+// for next time unless untraceable or disabled). On a verification
+// panic the machine is abandoned rather than pooled.
+func runTraced(pool *cpu.Pool, key, label string, ref func() uint64, sim func(m *cpu.Machine) uint64) cpu.Report {
+	mode := TraceModeNow()
+	if mode == TraceOff || key == "" {
+		if traceDebug && key == "" {
+			fmt.Fprintf(os.Stderr, "TRACEDBG untraceable %s\n", label)
+		}
+		m := pool.Get()
+		got := sim(m)
+		verifySum(label, got, ref())
+		r := m.Report()
+		pool.Put(m)
+		return r
+	}
+
+	if mode == TraceOn {
+		if e := lookupTrace(key); e != nil {
+			if e.sum == ref() {
+				m := pool.Get()
+				m.ExecTrace(e.ops)
+				r := m.Report()
+				pool.Put(m)
+				if r == e.rep {
+					traceReplays.Add(1)
+					return r
+				}
+			}
+			// Stale or corrupt: forget it and re-record below.
+			dropTrace(key)
+			traceRerecords.Add(1)
+		}
+	}
+
+	traceEngine.mu.RLock()
+	_, dead := traceEngine.dead[key]
+	traceEngine.mu.RUnlock()
+	if dead {
+		if traceDebug {
+			fmt.Fprintf(os.Stderr, "TRACEDBG deadrun %s\n", label)
+		}
+		m := pool.Get()
+		got := sim(m)
+		verifySum(label, got, ref())
+		r := m.Report()
+		pool.Put(m)
+		return r
+	}
+
+	m := pool.Get()
+	rec := trace.NewRecorder(maxTraceOps)
+	// A stream that barely compresses is not worth recording: replaying
+	// near-1:1 records saves little over direct simulation, and the
+	// doomed recording's memory churn is the engine's only real cost.
+	rec.RequireCompression(3)
+	m.SetRecorder(rec)
+	got := sim(m)
+	m.SetRecorder(nil)
+	verifySum(label, got, ref())
+	r := m.Report()
+	pool.Put(m)
+	if t, ok := rec.Take(); ok {
+		storeTrace(key, &traceEntry{ops: t.Ops, sum: got, rep: r})
+		traceRecords.Add(1)
+	} else {
+		if traceDebug {
+			recs, evs := rec.DebugCounts()
+			fmt.Fprintf(os.Stderr, "TRACEDBG aborted %s records=%d events=%d\n", label, recs, evs)
+		}
+		traceEngine.mu.Lock()
+		traceEngine.dead[key] = struct{}{}
+		traceEngine.mu.Unlock()
+	}
+	return r
+}

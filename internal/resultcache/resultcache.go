@@ -96,28 +96,110 @@ func Key(parts ...string) string {
 // an optional cache through without nil checks. Stats counters are
 // atomic; Load/Save themselves are safe for concurrent use.
 type Store struct {
-	dir  string
-	mode Mode
+	dir    string
+	mode   Mode
+	pruned int
 
 	hits, misses, writes atomic.Uint64
 }
 
+// versionMarker is the file recording which version salt the
+// directory's entries were written under.
+const versionMarker = "VERSION"
+
 // Open returns a store over dir (DefaultDir when empty) in the given
 // mode. Off yields a nil store. ReadWrite creates the directory;
 // ReadOnly does not (a missing directory is just an always-miss cache).
-func Open(dir string, mode Mode) (*Store, error) {
+//
+// salt is the caller's version salt (harness.SimVersionSalt for
+// ctbench). A read-write store compares it against the directory's
+// version marker and, on mismatch, prunes every stored entry — result
+// JSON and persisted traces alike — before writing the new marker.
+// Entries keyed under an old salt could never be *served* again (the
+// salt is hashed into every key), so pruning is purely hygiene: it
+// stops dead files accumulating forever. Pass "" to skip the check.
+func Open(dir string, mode Mode, salt string) (*Store, error) {
 	if mode == Off {
 		return nil, nil
 	}
 	if dir == "" {
 		dir = DefaultDir()
 	}
+	s := &Store{dir: dir, mode: mode}
 	if mode == ReadWrite {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("resultcache: %w", err)
 		}
+		if salt != "" {
+			// Best-effort: a failed prune costs disk, never correctness.
+			s.pruned = pruneStale(dir, salt)
+		}
 	}
-	return &Store{dir: dir, mode: mode}, nil
+	return s, nil
+}
+
+// pruneStale empties the store when its version marker disagrees with
+// salt, then records salt. Returns the number of entries removed.
+func pruneStale(dir, salt string) int {
+	marker := filepath.Join(dir, versionMarker)
+	if cur, err := os.ReadFile(marker); err == nil && string(cur) == salt {
+		return 0
+	}
+	n := clearEntries(dir)
+	if tmp, err := os.CreateTemp(dir, "tmp-*"); err == nil {
+		_, werr := tmp.WriteString(salt)
+		cerr := tmp.Close()
+		if werr != nil || cerr != nil || os.Rename(tmp.Name(), marker) != nil {
+			os.Remove(tmp.Name())
+		}
+	}
+	return n
+}
+
+// TracesSubdir is the conventional subdirectory of a result directory
+// where the harness persists recorded traces; pruning and Clear cover
+// it so stale traces die with the results they were recorded alongside.
+const TracesSubdir = "traces"
+
+// clearEntries removes every result and trace file under dir,
+// returning how many went. Unremovable files are skipped — the next
+// prune retries them.
+func clearEntries(dir string) int {
+	n := 0
+	for _, pat := range []string{
+		filepath.Join(dir, "*.json"),
+		filepath.Join(dir, TracesSubdir, "*.trace"),
+	} {
+		matches, _ := filepath.Glob(pat)
+		for _, f := range matches {
+			if os.Remove(f) == nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Pruned returns how many stale entries Open removed (0 for a nil
+// store or when the salt matched).
+func (s *Store) Pruned() int {
+	if s == nil {
+		return 0
+	}
+	return s.pruned
+}
+
+// Clear removes every entry (results and traces) from a read-write
+// store, keeping the version marker, and returns how many were
+// removed.
+func (s *Store) Clear() (int, error) {
+	if s == nil {
+		return 0, nil
+	}
+	if s.mode != ReadWrite {
+		return 0, fmt.Errorf("resultcache: clear requires a read-write store")
+	}
+	return clearEntries(s.dir), nil
 }
 
 // Dir returns the store's directory ("" for a nil store).

@@ -13,7 +13,7 @@ type payload struct {
 
 func openRW(t *testing.T) *Store {
 	t.Helper()
-	s, err := Open(t.TempDir(), ReadWrite)
+	s, err := Open(t.TempDir(), ReadWrite, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestCorruptedEntryIsMiss(t *testing.T) {
 func TestReadOnlyNeverWrites(t *testing.T) {
 	parent := t.TempDir()
 	dir := filepath.Join(parent, "never-created")
-	s, err := Open(dir, ReadOnly)
+	s, err := Open(dir, ReadOnly, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestReadOnlyNeverWrites(t *testing.T) {
 	if err := rw.Save(key, payload{Name: "seeded"}); err != nil {
 		t.Fatal(err)
 	}
-	ro, err := Open(rw.Dir(), ReadOnly)
+	ro, err := Open(rw.Dir(), ReadOnly, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,8 +173,89 @@ func TestParseMode(t *testing.T) {
 }
 
 func TestOpenOffIsNil(t *testing.T) {
-	s, err := Open("", Off)
+	s, err := Open("", Off, "")
 	if err != nil || s != nil {
 		t.Errorf("Open(Off) = %v, %v; want nil, nil", s, err)
+	}
+}
+
+// TestSaltPrune pins the startup hygiene: a read-write store opened
+// with a new salt removes entries (results and traces) written under
+// the old one, and a same-salt reopen leaves everything alone.
+func TestSaltPrune(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, ReadWrite, "sim-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pruned() != 0 {
+		t.Errorf("fresh dir pruned %d entries", s.Pruned())
+	}
+	key := Key("sim-v1", "fig2")
+	if err := s.Save(key, payload{Name: "keep"}); err != nil {
+		t.Fatal(err)
+	}
+	tdir := filepath.Join(dir, TracesSubdir)
+	if err := os.MkdirAll(tdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tfile := filepath.Join(tdir, "abc123.trace")
+	if err := os.WriteFile(tfile, []byte("trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same salt: nothing pruned, the entry still serves.
+	s2, err := Open(dir, ReadWrite, "sim-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if s2.Pruned() != 0 || !s2.Load(key, &got) {
+		t.Errorf("same-salt reopen pruned %d / lost the entry", s2.Pruned())
+	}
+
+	// New salt: both the result and the trace must go.
+	s3, err := Open(dir, ReadWrite, "sim-v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Pruned() != 2 {
+		t.Errorf("salt bump pruned %d entries, want 2", s3.Pruned())
+	}
+	if s3.Load(key, &got) {
+		t.Error("stale entry survived the salt bump")
+	}
+	if _, err := os.Stat(tfile); !os.IsNotExist(err) {
+		t.Errorf("stale trace survived the salt bump (stat err: %v)", err)
+	}
+}
+
+// TestClear empties a store on demand and refuses on read-only ones.
+func TestClear(t *testing.T) {
+	s := openRW(t)
+	for i, name := range []string{"a", "b", "c"} {
+		if err := s.Save(Key(name), payload{Vals: []int{i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := s.Clear()
+	if err != nil || n != 3 {
+		t.Fatalf("Clear = %d, %v; want 3, nil", n, err)
+	}
+	var got payload
+	if s.Load(Key("a"), &got) {
+		t.Error("entry survived Clear")
+	}
+
+	ro, err := Open(s.Dir(), ReadOnly, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ro.Clear(); err == nil {
+		t.Error("read-only Clear did not refuse")
+	}
+	var nilStore *Store
+	if n, err := nilStore.Clear(); n != 0 || err != nil {
+		t.Errorf("nil store Clear = %d, %v", n, err)
 	}
 }

@@ -1,0 +1,287 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The recorder's value rests on compression: a linear sweep must fold
+// into a handful of records, not one per access. These tests pin the
+// shapes the cpu-side fusion invariants rely on.
+
+func TestFuseEqualStrideRun(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < 100; i++ {
+		r.Op(3)
+		r.Access(uint64(i*64), 0)
+	}
+	tr, ok := r.Take()
+	if !ok {
+		t.Fatal("recorder reported abort")
+	}
+	if len(tr.Ops) != 1 {
+		t.Fatalf("strided sweep compressed to %d records, want 1: %+v", len(tr.Ops), tr.Ops)
+	}
+	op := tr.Ops[0]
+	if op.Kind != KRun || op.Arg != 100 || op.Stride != 64 || op.Pre != PreOps || op.PreN != 3 {
+		t.Errorf("run record wrong: %+v", op)
+	}
+}
+
+func TestFuseRMWPairs(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < 50; i++ {
+		r.Access(uint64(i*64), 0)
+		r.Access(uint64(i*64), writeBit)
+	}
+	tr, _ := r.Take()
+	if len(tr.Ops) != 1 {
+		t.Fatalf("RMW sweep compressed to %d records, want 1: %+v", len(tr.Ops), tr.Ops)
+	}
+	op := tr.Ops[0]
+	if op.Kind != KRMW || op.Arg != 50 || op.Stride != 64 || op.Flags&writeBit != 0 {
+		t.Errorf("RMW record wrong: %+v", op)
+	}
+}
+
+func TestNoFalseRMW(t *testing.T) {
+	// A store at a different address, or with different other flags,
+	// must NOT fold into the preceding load.
+	r := NewRecorder(0)
+	r.Access(0, 0)
+	r.Access(64, writeBit)
+	tr, _ := r.Take()
+	if len(tr.Ops) != 2 {
+		t.Fatalf("unrelated load+store fused: %+v", tr.Ops)
+	}
+	r = NewRecorder(0)
+	r.Access(0, 0)
+	r.Access(0, writeBit|1<<4)
+	tr, _ = r.Take()
+	if len(tr.Ops) != 2 {
+		t.Fatalf("flag-mismatched load+store fused: %+v", tr.Ops)
+	}
+	// A store whose own pre-ops intervened keeps them: folding would
+	// reorder the ALU charge relative to the load.
+	r = NewRecorder(0)
+	r.Access(0, 0)
+	r.Op(2)
+	r.Access(0, writeBit)
+	tr, _ = r.Take()
+	if len(tr.Ops) != 2 || tr.Ops[1].Kind == KRMW {
+		t.Fatalf("store with own pre-ops fused into RMW: %+v", tr.Ops)
+	}
+}
+
+func TestRandomAccessesStaySingles(t *testing.T) {
+	r := NewRecorder(0)
+	addrs := []uint64{0, 4096, 64, 9000, 128}
+	for _, a := range addrs {
+		r.Access(a, 0)
+	}
+	tr, _ := r.Take()
+	// Irregular strides cannot all fuse; at minimum the count of
+	// accesses must be preserved.
+	total := 0
+	for _, op := range tr.Ops {
+		switch op.Kind {
+		case KAccess:
+			total++
+		case KRun:
+			total += int(op.Arg)
+		default:
+			t.Fatalf("unexpected record kind %d", op.Kind)
+		}
+	}
+	if total != len(addrs) {
+		t.Errorf("recorded %d accesses, want %d", total, len(addrs))
+	}
+}
+
+func TestLimitAborts(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 100; i++ {
+		// Alternate flags so nothing fuses.
+		r.Access(uint64(i*4096), uint32(i%2)<<4)
+	}
+	if !r.Aborted() {
+		t.Fatal("recorder did not abort past its limit")
+	}
+	if _, ok := r.Take(); ok {
+		t.Fatal("aborted recorder still handed out a trace")
+	}
+}
+
+func TestScratchFusion(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < 10; i++ {
+		r.ScratchLoad(4)
+	}
+	r.ScratchStore(4)
+	tr, _ := r.Take()
+	if len(tr.Ops) != 2 {
+		t.Fatalf("scratch ops compressed to %d records, want 2: %+v", len(tr.Ops), tr.Ops)
+	}
+	if tr.Ops[0].Kind != KScratchLoad || tr.Ops[0].Arg != 10 || tr.Ops[0].Flags != 4 {
+		t.Errorf("scratch load record wrong: %+v", tr.Ops[0])
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := NewRecorder(0)
+	r.Op(7)
+	r.Access(128, 0)
+	r.CTLoad(4096)
+	r.Warm(0, 1<<14)
+	r.ResetStats()
+	tr, _ := r.Take()
+
+	key := "salt\x1fw:histogram\x1f500/1/0\x1fct\x1f0\x1fcfg"
+	meta := []uint64{0xdeadbeef, 1, 2, 3}
+	buf := Encode(key, meta, tr.Ops)
+
+	gotKey, gotMeta, gotOps, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotKey != key {
+		t.Errorf("key round trip: %q != %q", gotKey, key)
+	}
+	if len(gotMeta) != len(meta) || gotMeta[0] != meta[0] || gotMeta[3] != meta[3] {
+		t.Errorf("meta round trip: %v != %v", gotMeta, meta)
+	}
+	if len(gotOps) != len(tr.Ops) {
+		t.Fatalf("ops round trip: %d != %d", len(gotOps), len(tr.Ops))
+	}
+	for i := range gotOps {
+		if gotOps[i] != tr.Ops[i] {
+			t.Errorf("op %d round trip: %+v != %+v", i, gotOps[i], tr.Ops[i])
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < 20; i++ {
+		r.Access(uint64(i*64), 0)
+	}
+	tr, _ := r.Take()
+	good := Encode("k", []uint64{1}, tr.Ops)
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     good[:8],
+		"magic":     append([]byte("XXXX"), good[4:]...),
+		"truncated": good[:len(good)-5],
+	}
+	flipped := bytes.Clone(good)
+	flipped[len(flipped)/2] ^= 0x40
+	cases["bitflip"] = flipped
+	trailing := append(bytes.Clone(good), 0)
+	cases["trailing"] = trailing
+
+	for name, buf := range cases {
+		if _, _, _, err := Decode(buf); err == nil {
+			t.Errorf("%s: Decode accepted corrupted input", name)
+		}
+	}
+}
+
+// TestBundleCollapseVec pins the periodic-pre fusion: the vectorized
+// sweeps attach one OpStream bundle to the first access of every group
+// of 4 lines, and whole sweeps must settle into an accumulated ALU
+// record plus one run, not ~2 records per group.
+func TestBundleCollapseVec(t *testing.T) {
+	const lines, bundle = 64, 14 // 14 = 4*3+2: indivisible by the group on purpose
+	r := NewRecorder(0)
+	for i := 0; i < lines; i++ {
+		if i%4 == 0 {
+			r.OpStream(bundle)
+		}
+		r.Access(uint64(i*64), 0)
+	}
+	tr, ok := r.Take()
+	if !ok {
+		t.Fatal("recorder reported abort")
+	}
+	// Steady state: [KOpStream total, KRun big, last-group head, tail run].
+	if len(tr.Ops) > 4 {
+		t.Fatalf("vector sweep compressed to %d records, want <=4: %+v", len(tr.Ops), tr.Ops)
+	}
+	var ops, accesses uint64
+	for _, op := range tr.Ops {
+		switch op.Kind {
+		case KOpStream, KOps:
+			ops += op.Arg
+		case KRun, KAccess:
+			ops += uint64(op.PreN) * op.Arg
+			accesses += op.Arg
+		default:
+			t.Fatalf("unexpected record kind %d: %+v", op.Kind, op)
+		}
+	}
+	if want := uint64(lines / 4 * bundle); ops != want {
+		t.Errorf("collapse lost ALU ops: have %d, want %d", ops, want)
+	}
+	if accesses != lines {
+		t.Errorf("collapse lost accesses: have %d, want %d", accesses, lines)
+	}
+}
+
+// TestBundleCollapseRMW is the same for the vectorized store sweeps,
+// whose groups are load/store RMW pairs.
+func TestBundleCollapseRMW(t *testing.T) {
+	const lines, bundle = 64, 14
+	r := NewRecorder(0)
+	for i := 0; i < lines; i++ {
+		if i%4 == 0 {
+			r.OpStream(bundle)
+		}
+		r.Access(uint64(i*64), 0)
+		r.Access(uint64(i*64), writeBit)
+	}
+	tr, ok := r.Take()
+	if !ok {
+		t.Fatal("recorder reported abort")
+	}
+	if len(tr.Ops) > 4 {
+		t.Fatalf("RMW vector sweep compressed to %d records, want <=4: %+v", len(tr.Ops), tr.Ops)
+	}
+	var pairs uint64
+	for _, op := range tr.Ops {
+		if op.Kind == KRMW {
+			pairs += op.Arg
+		}
+	}
+	if pairs != lines {
+		t.Errorf("collapse lost RMW pairs: have %d, want %d", pairs, lines)
+	}
+}
+
+// TestBundleCollapseRequiresGeometry pins that the collapse never fires
+// across a stride break: a new sweep restarting at the base address
+// must not fold into the previous sweep's records.
+func TestBundleCollapseRequiresGeometry(t *testing.T) {
+	r := NewRecorder(0)
+	for sweep := 0; sweep < 2; sweep++ {
+		for i := 0; i < 8; i++ {
+			if i%4 == 0 {
+				r.OpStream(8)
+			}
+			r.Access(uint64(i*64), 0)
+		}
+	}
+	tr, ok := r.Take()
+	if !ok {
+		t.Fatal("recorder reported abort")
+	}
+	var accesses uint64
+	for _, op := range tr.Ops {
+		if op.Kind == KRun || op.Kind == KAccess {
+			accesses += op.Arg
+		}
+	}
+	if accesses != 16 {
+		t.Errorf("stride break mangled the stream: %d accesses, want 16: %+v", accesses, tr.Ops)
+	}
+}
