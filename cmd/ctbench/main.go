@@ -31,6 +31,16 @@
 //	ctbench -tracedir DIR     # persist traces to DIR (default: the
 //	                          # traces/ subdirectory of the cache dir
 //	                          # when -cache rw, else in-memory only)
+//	ctbench -resume           # with -cache rw: consult the manifest
+//	                          # journal from a previous (possibly
+//	                          # crashed or partially failed) run and
+//	                          # re-run only missing or failed
+//	                          # experiments; completed ones are served
+//	                          # from the cache
+//	ctbench -faults SPEC      # arm deterministic fault injection (same
+//	                          # grammar as the CTBIA_FAULTS env var),
+//	                          # e.g. 'seed=1; worker.panic@1' — chaos
+//	                          # testing only
 //	ctbench -json out.json    # machine-readable results: per-experiment
 //	                          # wall time, machine counts, cache hits
 //	                          # and table rows
@@ -53,6 +63,7 @@ import (
 	"time"
 
 	"ctbia/internal/cpu"
+	"ctbia/internal/faultinject"
 	"ctbia/internal/harness"
 	"ctbia/internal/resultcache"
 )
@@ -64,6 +75,8 @@ type jsonExperiment struct {
 	WallMS   float64    `json:"wall_ms"`
 	Machines uint64     `json:"machines"`
 	Cached   bool       `json:"cached,omitempty"`
+	Failed   bool       `json:"failed,omitempty"`
+	Errors   []string   `json:"errors,omitempty"`
 	Headers  []string   `json:"headers,omitempty"`
 	Rows     [][]string `json:"rows,omitempty"`
 	Notes    []string   `json:"notes,omitempty"`
@@ -99,6 +112,13 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// usageErr reports a bad flag value or impossible flag combination and
+// exits 2, so scripts can tell misuse (2) from run failures (1).
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ctbench: "+format+"\n", args...)
+	os.Exit(2)
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id, comma-separated list, or 'all'")
 	quick := flag.Bool("quick", false, "use shrunken problem sizes")
@@ -108,6 +128,8 @@ func main() {
 	cacheDir := flag.String("cachedir", "", "result cache directory (default ~/.cache/ctbia/results)")
 	traceMode := flag.String("trace", "on", "trace-replay engine: on, off or record-only")
 	traceDir := flag.String("tracedir", "", "trace persistence directory (default <cachedir>/traces when -cache rw)")
+	resume := flag.Bool("resume", false, "resume a previous -cache rw run from its manifest journal (re-runs only missing or failed experiments)")
+	faults := flag.String("faults", "", "arm deterministic fault injection, e.g. 'seed=1; worker.panic@1' (chaos testing)")
 	jsonOut := flag.String("json", "", "write a machine-readable result file (wall times, machine counts, cache hits, table rows)")
 	benchJSON := flag.String("benchjson", "", "run the perf snapshot suite and write it to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -135,11 +157,15 @@ func main() {
 		}
 	}
 
-	// -parallel 0 means "use every CPU": the tables are byte-identical
-	// at any worker count, so there is no reason to default to serial.
-	workers := *parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	// Bad flag values are usage errors (exit 2, no stack trace) — the
+	// sweep must only start once every knob is known-good.
+	if *parallel < 0 {
+		usageErr("-parallel %d: worker count cannot be negative", *parallel)
+	}
+	if err := cpu.DefaultConfig().Validate(); err != nil {
+		// Can only trip if the default machine config is edited into an
+		// impossible geometry; catch it before any experiment panics.
+		usageErr("machine config: %v", err)
 	}
 
 	// -cache clear is an action, not a mode: empty the store and exit.
@@ -158,8 +184,40 @@ func main() {
 
 	mode, err := resultcache.ParseMode(*cacheMode)
 	if err != nil {
-		fatal(err)
+		usageErr("%v", err)
 	}
+	tmode, err := harness.ParseTraceMode(*traceMode)
+	if err != nil {
+		usageErr("%v", err)
+	}
+	if *resume && mode != resultcache.ReadWrite {
+		usageErr("-resume needs -cache rw: the result cache is what lets completed experiments be skipped")
+	}
+	if *faults != "" {
+		inj, err := faultinject.Parse(*faults)
+		if err != nil {
+			usageErr("%v", err)
+		}
+		faultinject.Arm(inj)
+	}
+	if mode == resultcache.ReadWrite {
+		dir := *cacheDir
+		if dir == "" {
+			dir = resultcache.DefaultDir()
+		}
+		if err := resultcache.EnsureWritable(dir); err != nil {
+			usageErr("-cachedir: %v", err)
+		}
+	}
+	if *traceDir != "" {
+		if tmode == harness.TraceOff {
+			usageErr("-tracedir is meaningless with -trace off")
+		}
+		if err := resultcache.EnsureWritable(*traceDir); err != nil {
+			usageErr("-tracedir: %v", err)
+		}
+	}
+
 	// Opening with the simulator version salt prunes entries stored by
 	// older simulator versions (they could never be served again).
 	store, err := resultcache.Open(*cacheDir, mode, harness.SimVersionSalt)
@@ -170,10 +228,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ctbench: pruned %d stale cache entries (simulator version changed)\n", store.Pruned())
 	}
 
-	tmode, err := harness.ParseTraceMode(*traceMode)
-	if err != nil {
-		fatal(err)
-	}
 	harness.SetTraceMode(tmode)
 	// Persist traces next to the result cache when it is writable, or
 	// wherever -tracedir points; otherwise traces stay in memory.
@@ -184,6 +238,29 @@ func main() {
 	if tmode != harness.TraceOff && tdir != "" {
 		if err := harness.SetTraceDir(tdir); err != nil {
 			fatal(err)
+		}
+	}
+
+	// A writable cache gets a manifest journal alongside it: every
+	// experiment outcome lands there as it completes, so a crashed or
+	// partially failed sweep can be finished with -resume.
+	var manifest *harness.Manifest
+	if store.Mode() == resultcache.ReadWrite {
+		mpath := filepath.Join(store.Dir(), harness.ManifestName)
+		if *resume {
+			m, stale, err := harness.LoadManifest(mpath, *quick)
+			if err != nil {
+				usageErr("-resume: %v", err)
+			}
+			if stale {
+				fmt.Fprintln(os.Stderr, "ctbench: manifest is stale (different simulator version or -quick setting); re-running everything")
+			} else {
+				okN, failedN := m.Summary()
+				fmt.Fprintf(os.Stderr, "ctbench: resuming: %d experiments previously ok, %d failed; failed and missing ones re-run\n", okN, failedN)
+			}
+			manifest = m
+		} else {
+			manifest = harness.NewManifest(mpath, *quick)
 		}
 	}
 
@@ -198,7 +275,14 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	opts := harness.Options{Quick: *quick, Parallel: workers, Cache: store}
+	// -parallel 0 means "use every CPU": the tables are byte-identical
+	// at any worker count, so there is no reason to default to serial.
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	opts := harness.Options{Quick: *quick, Parallel: workers, Cache: store, Manifest: manifest}
 
 	if *benchJSON != "" {
 		if err := writeBenchSnapshot(*benchJSON, selected, opts); err != nil {
@@ -222,12 +306,38 @@ func main() {
 			mark = ", cached"
 			cacheHits++
 		}
+		if r.Failed() {
+			mark += ", FAILED"
+		}
 		fmt.Printf("(%s in %v%s)\n\n", r.Experiment.ID, r.Wall.Round(time.Millisecond), mark)
 	}
 	traceRecs, traceReps, _ := harness.TraceStats()
 	fmt.Printf("total: %d experiments, %d machines (%d built, %d reused), %d cache hits, %d traces recorded, %d replayed, %v wall (parallel=%d, cache=%s, trace=%s)\n",
 		len(results), built+reused, built, reused, cacheHits, traceRecs, traceReps,
 		wall.Round(time.Millisecond), workers, mode, tmode)
+
+	// Fault accounting: every run reports what it survived, and failures
+	// flip the exit code — but only after every surviving table, profile
+	// and report has been written.
+	failures := harness.Failures(results)
+	if retries, quarantined := harness.TraceFaultStats(); retries > 0 || quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "ctbench: %d transient faults retried, %d points quarantined onto the direct path\n", retries, quarantined)
+		if qp := harness.QuarantinedPoints(); len(qp) > 0 {
+			fmt.Fprintf(os.Stderr, "ctbench: quarantined: %s\n", strings.Join(qp, ", "))
+		}
+	}
+	if q := store.Quarantined(); q > 0 {
+		fmt.Fprintf(os.Stderr, "ctbench: %d corrupt result-cache entries quarantined\n", q)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nctbench: %d point(s) FAILED (all other points completed):\n", len(failures))
+		for _, pe := range failures {
+			fmt.Fprintf(os.Stderr, "  %v\n", pe)
+		}
+		if manifest != nil {
+			fmt.Fprintln(os.Stderr, "ctbench: re-run with -resume to retry only the failed experiments")
+		}
+	}
 
 	if *jsonOut != "" {
 		report := jsonReport{
@@ -247,16 +357,25 @@ func main() {
 			TraceReplays:   traceReps,
 		}
 		for _, r := range results {
-			report.Experiments = append(report.Experiments, jsonExperiment{
+			je := jsonExperiment{
 				ID:       r.Experiment.ID,
 				Title:    r.Experiment.Title,
 				WallMS:   float64(r.Wall.Microseconds()) / 1000,
 				Machines: r.Machines,
 				Cached:   r.Cached,
+				Failed:   r.Failed(),
 				Headers:  r.Table.Headers,
 				Rows:     r.Table.Rows,
 				Notes:    r.Table.Notes,
-			})
+			}
+			if r.Err != nil {
+				je.Errors = append(je.Errors, r.Err.Error())
+			} else if r.Table != nil {
+				for _, pe := range r.Table.Failures {
+					je.Errors = append(je.Errors, pe.Error())
+				}
+			}
+			report.Experiments = append(report.Experiments, je)
 		}
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -277,5 +396,12 @@ func main() {
 			fatal(err)
 		}
 		f.Close()
+	}
+
+	if len(failures) > 0 {
+		// os.Exit skips defers; flush the CPU profile explicitly (a
+		// no-op when none was started).
+		pprof.StopCPUProfile()
+		os.Exit(1)
 	}
 }

@@ -32,6 +32,16 @@ func main() {
 	size := flag.Int("size", 1000, "workload size (dijkstra uses size/8 rounded to 16)")
 	flag.Parse()
 
+	// Flag misuse is exit 2, before any simulation starts.
+	if *samples < 1 {
+		fmt.Fprintf(os.Stderr, "ctsec: -samples %d: need at least one secret per configuration\n", *samples)
+		os.Exit(2)
+	}
+	if *size < 1 {
+		fmt.Fprintf(os.Stderr, "ctsec: -size %d: workload size must be positive\n", *size)
+		os.Exit(2)
+	}
+
 	fmt.Println("== Fig. 10: per-cache-set access counts (histogram) ==")
 	fig10, _ := harness.ByID("fig10")
 	fmt.Print(fig10.Run(harness.Options{}).Render())

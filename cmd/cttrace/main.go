@@ -9,11 +9,13 @@
 //	cttrace -idx 777         # different secret index: trace is identical
 //	cttrace -probes          # include the architecturally-invisible CT probes
 //	cttrace -max 40          # cap lines per section
+//	cttrace -bialevel 2      # host the BIA at a different cache level
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"ctbia/internal/attacker"
 	"ctbia/internal/cpu"
@@ -21,11 +23,38 @@ import (
 	"ctbia/internal/memp"
 )
 
+// usageErr reports a bad flag value and exits 2 (distinct from runtime
+// failures, which exit 1).
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cttrace: "+format+"\n", args...)
+	os.Exit(2)
+}
+
 func main() {
 	idx := flag.Int("idx", 123, "secret element index accessed")
 	max := flag.Int("max", 24, "max trace lines per section (0 = unlimited)")
 	probes := flag.Bool("probes", false, "show CT probe events (invisible to attackers)")
+	biaLevel := flag.Int("bialevel", 1, "cache level hosting the BIA in the BIA sections (1=L1d, 2=L2, 3=LLC)")
 	flag.Parse()
+
+	if *idx < 0 {
+		usageErr("-idx %d: element index cannot be negative", *idx)
+	}
+	if *max < 0 {
+		usageErr("-max %d: line cap cannot be negative (0 means unlimited)", *max)
+	}
+	{
+		// Validate the BIA placement against the real machine config so
+		// an out-of-range level is a one-line flag error, not a panic.
+		cfg := cpu.DefaultConfig()
+		cfg.BIALevel = *biaLevel
+		if *biaLevel < 1 {
+			usageErr("-bialevel %d: the traced BIA sections need a BIA (level >= 1)", *biaLevel)
+		}
+		if err := cfg.Validate(); err != nil {
+			usageErr("-bialevel %d: %v", *biaLevel, err)
+		}
+	}
 
 	const tableElems = 2048 // 8 KiB = 2 pages
 
@@ -36,8 +65,8 @@ func main() {
 	}{
 		{"insecure", ct.Direct{}, 0},
 		{"software CT", ct.Linear{}, 0},
-		{"BIA (Algorithm 2/3)", ct.BIA{}, 1},
-		{"BIA macro-ops (Sec. 6.2)", ct.BIAMacro{}, 1},
+		{"BIA (Algorithm 2/3)", ct.BIA{}, *biaLevel},
+		{"BIA macro-ops (Sec. 6.2)", ct.BIAMacro{}, *biaLevel},
 	} {
 		cfg := cpu.DefaultConfig()
 		cfg.BIALevel = c.biaLevel

@@ -57,6 +57,61 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate checks the configuration without building anything,
+// mirroring every geometry panic New (via cache.NewCache and bia.New)
+// would hit plus the machine-level constraints, as one friendly error.
+// CLIs validate flag-derived configs up front so a bad combination is
+// an exit-code-2 usage error, never a panic stack mid-sweep.
+func (c Config) Validate() error {
+	if len(c.Levels) == 0 {
+		return fmt.Errorf("cpu: config needs at least one cache level")
+	}
+	for i, l := range c.Levels {
+		name := l.Name
+		if name == "" {
+			name = fmt.Sprintf("level %d", i+1)
+		}
+		if l.Size <= 0 {
+			return fmt.Errorf("cpu: cache %s: size %d must be positive", name, l.Size)
+		}
+		if l.Ways <= 0 {
+			return fmt.Errorf("cpu: cache %s: ways %d must be positive", name, l.Ways)
+		}
+		if l.Latency < 0 {
+			return fmt.Errorf("cpu: cache %s: negative latency %d", name, l.Latency)
+		}
+		nlines := l.Size / memp.LineSize
+		if nlines <= 0 || l.Size%memp.LineSize != 0 {
+			return fmt.Errorf("cpu: cache %s: size %d is not a positive multiple of the %d-byte line", name, l.Size, memp.LineSize)
+		}
+		if nlines%l.Ways != 0 {
+			return fmt.Errorf("cpu: cache %s: %d lines not divisible by %d ways", name, nlines, l.Ways)
+		}
+		if l.Slices > 1 && (nlines/l.Ways)%l.Slices != 0 {
+			return fmt.Errorf("cpu: cache %s: %d sets not divisible by %d slices", name, nlines/l.Ways, l.Slices)
+		}
+	}
+	if c.DRAMLatency < 0 {
+		return fmt.Errorf("cpu: negative DRAM latency %d", c.DRAMLatency)
+	}
+	if c.BIALevel < 0 || c.BIALevel > len(c.Levels) {
+		return fmt.Errorf("cpu: BIA level %d out of range 0..%d", c.BIALevel, len(c.Levels))
+	}
+	if c.BIALevel > 0 {
+		b := c.BIA
+		if b.Entries <= 0 || b.Ways <= 0 || b.Entries%b.Ways != 0 {
+			return fmt.Errorf("cpu: invalid BIA geometry entries=%d ways=%d", b.Entries, b.Ways)
+		}
+		if b.Latency < 0 {
+			return fmt.Errorf("cpu: negative BIA latency %d", b.Latency)
+		}
+		if b.ChunkShift != 0 && (b.ChunkShift <= memp.LineShift || b.ChunkShift > memp.PageShift) {
+			return fmt.Errorf("cpu: BIA chunk shift %d out of range (%d, %d]", b.ChunkShift, memp.LineShift, memp.PageShift)
+		}
+	}
+	return nil
+}
+
 // Counters aggregates the core-side statistics. Cache-side counts live
 // in the hierarchy's per-level stats.
 type Counters struct {
@@ -131,8 +186,8 @@ func MachinesReset() uint64 { return machinesReset.Load() }
 
 // New builds a machine from cfg.
 func New(cfg Config) *Machine {
-	if len(cfg.Levels) == 0 {
-		panic("cpu: config needs at least one cache level")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	machinesBuilt.Add(1)
 	m := &Machine{

@@ -1,0 +1,94 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"ctbia/internal/bia"
+	"ctbia/internal/cache"
+)
+
+// Every mutation here would panic deep inside cache.NewCache or bia.New
+// if it reached New; Validate must catch each one up front with a
+// message naming the offending knob, and must accept the default.
+func TestValidateCatchesBadGeometry(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string // substring of the error
+	}{
+		{"no levels", func(c *Config) { c.Levels = nil }, "at least one cache level"},
+		{"negative size", func(c *Config) { c.Levels[0].Size = -4096 }, "size"},
+		{"zero ways", func(c *Config) { c.Levels[1].Ways = 0 }, "ways"},
+		{"negative latency", func(c *Config) { c.Levels[0].Latency = -1 }, "latency"},
+		{"size not line multiple", func(c *Config) { c.Levels[0].Size = 1000 }, "line"},
+		{"lines not divisible by ways", func(c *Config) { c.Levels[0].Ways = 7 }, "ways"},
+		{"sets not divisible by slices", func(c *Config) { c.Levels[2].Slices = 7 }, "slices"},
+		{"negative DRAM latency", func(c *Config) { c.DRAMLatency = -200 }, "DRAM"},
+		{"BIA level negative", func(c *Config) { c.BIALevel = -1 }, "BIA level"},
+		{"BIA level past last cache", func(c *Config) { c.BIALevel = 4 }, "BIA level"},
+		{"BIA entries not divisible by ways", func(c *Config) { c.BIA.Entries = 100; c.BIA.Ways = 3 }, "BIA geometry"},
+		{"BIA chunk shift below line", func(c *Config) { c.BIA.ChunkShift = 6 }, "chunk shift"},
+		{"BIA chunk shift above page", func(c *Config) { c.BIA.ChunkShift = 13 }, "chunk shift"},
+		{"negative BIA latency", func(c *Config) { c.BIA.Latency = -1 }, "BIA latency"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsGoodConfigs(t *testing.T) {
+	cfgs := map[string]Config{
+		"default": DefaultConfig(),
+		"no BIA": {
+			Levels:      []cache.Config{{Name: "L1", Size: 32 << 10, Ways: 4, Latency: 1}},
+			DRAMLatency: 100,
+		},
+		"sliced LLC, BIA at LLC": {
+			Levels: []cache.Config{
+				{Name: "L1", Size: 32 << 10, Ways: 8, Latency: 2},
+				{Name: "LLC", Size: 8 << 20, Ways: 16, Latency: 40, Slices: 8},
+			},
+			DRAMLatency: 200,
+			BIA:         bia.DefaultConfig(),
+			BIALevel:    2,
+		},
+	}
+	for name, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: Validate rejected a buildable config: %v", name, err)
+		}
+	}
+	// The acceptance check Validate mirrors is New's own panic set:
+	// anything Validate passes must construct.
+	for name, cfg := range cfgs {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Errorf("%s: New panicked on a validated config: %v", name, p)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+// BIA with ChunkShift zero (meaning "default to page granularity") must
+// stay accepted — DefaultConfig relies on it.
+func TestValidateChunkShiftZeroMeansDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BIA.ChunkShift = 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("ChunkShift=0 rejected: %v", err)
+	}
+}

@@ -118,7 +118,7 @@ func runFig2(o Options) *Table {
 		Headers: []string{"size", "DS lines", "secure", "secure with avx"}}
 	w := workloads.Histogram{}
 	rows := make([][]string, len(sizes))
-	forEachIndexed(len(sizes), o.Parallel, func(i int) {
+	errs := forEachIndexed(len(sizes), o.Parallel, func(i int) {
 		p := workloads.Params{Size: sizes[i], Seed: 1}
 		ins := RunWorkload(w, p, ct.Direct{}, 0)
 		lin := RunWorkload(w, p, ct.Linear{}, 0)
@@ -128,7 +128,11 @@ func runFig2(o Options) *Table {
 			ratio(lin.Cycles, ins.Cycles),
 			ratio(vec.Cycles, ins.Cycles)}
 	})
-	for _, row := range rows {
+	for i, row := range rows {
+		if errs != nil && errs[i] != nil {
+			t.Fail(fmt.Sprintf("hist_%d", sizes[i]), errs[i])
+			continue
+		}
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes, "overhead = cycles / insecure cycles; grows ~linearly with DS size as in the paper")
@@ -164,7 +168,8 @@ func runMotivation(o Options) *Table {
 // fig7 builds the runner for one Fig. 7 panel. The per-size points are
 // independent (each builds four fresh machines), so they fan out across
 // o.Parallel workers; rows are collected in index order, keeping the
-// table byte-identical to the serial run.
+// table byte-identical to the serial run. A panicking point worker is
+// recovered into a FAILED row; the other sizes still measure.
 func fig7(id string, w workloads.Workload, sizes, quick []int) func(Options) *Table {
 	return func(o Options) *Table {
 		ss := sizes
@@ -175,7 +180,7 @@ func fig7(id string, w workloads.Workload, sizes, quick []int) func(Options) *Ta
 			Title:   fmt.Sprintf("%s execution-time overhead vs insecure baseline", w.Name()),
 			Headers: []string{"workload", "L1d", "L2", "CT"}}
 		rows := make([][]string, len(ss))
-		forEachIndexed(len(ss), o.Parallel, func(i int) {
+		errs := forEachIndexed(len(ss), o.Parallel, func(i int) {
 			p := workloads.Params{Size: ss[i], Seed: 1}
 			r := runAllStrategies(w, p, o.parallel())
 			rows[i] = []string{fmt.Sprintf("%s_%d", shortName(w.Name()), ss[i]),
@@ -183,7 +188,11 @@ func fig7(id string, w workloads.Workload, sizes, quick []int) func(Options) *Ta
 				ratio(r.biaL2.Cycles, r.insecure.Cycles),
 				ratio(r.linear.Cycles, r.insecure.Cycles)}
 		})
-		for _, row := range rows {
+		for i, row := range rows {
+			if errs != nil && errs[i] != nil {
+				t.Fail(fmt.Sprintf("%s_%d", shortName(w.Name()), ss[i]), errs[i])
+				continue
+			}
 			t.AddRow(row...)
 		}
 		return t

@@ -155,7 +155,10 @@ func runThreshold(o Options) *Table {
 	} {
 		m := smallPools[1].Get()
 		if got := w.Run(m, c.s, p); got != w.Reference(p) {
-			panic("harness: threshold run corrupted results")
+			// A corrupted sub-run costs its row, not the experiment;
+			// the machine is abandoned rather than pooled.
+			t.Fail(c.name, fmt.Errorf("harness: threshold run corrupted results (checksum %#x, want %#x)", got, w.Reference(p)))
+			continue
 		}
 		r := m.Report()
 		l1 := m.Hier.Level(1).Stats
@@ -186,7 +189,9 @@ func runBIASize(o Options) *Table {
 		m := cpu.New(cfg)
 		got := w.Run(m, ct.BIA{}, p)
 		if got != w.Reference(p) {
-			panic("harness: biasize run corrupted results")
+			t.Fail(fmt.Sprintf("%d", entries),
+				fmt.Errorf("harness: biasize run corrupted results (checksum %#x, want %#x)", got, w.Reference(p)))
+			continue
 		}
 		hitRate := "n/a"
 		if l := m.BIA.Stats.Lookups; l > 0 {
@@ -242,12 +247,12 @@ func runPinning(o Options) *Table {
 	// note the paper's caveat: dirty/LRU metadata still leaks, and the
 	// pins squat on the cache).
 	mPin := MachineFor(0)
-	pinRun := func() cpu.Report {
+	pinRun := func() (cpu.Report, error) {
 		got := w.Run(mPin, ct.Direct{}, p)
 		if got != w.Reference(p) {
-			panic("harness: pinning run corrupted results")
+			return cpu.Report{}, fmt.Errorf("harness: pinning run corrupted results (checksum %#x, want %#x)", got, w.Reference(p))
 		}
-		return mPin.Report()
+		return mPin.Report(), nil
 	}
 	// Pre-allocate and pin the out array: regions are allocated inside
 	// Run, so pin right after it starts is impossible; instead pin the
@@ -262,19 +267,22 @@ func runPinning(o Options) *Table {
 		mPin.Hier.Access(a, 0)
 		mPin.Hier.Level(1).Pin(a)
 	}
-	rPin := pinRun()
-	missPin := bystander(mPin)
+	if rPin, err := pinRun(); err != nil {
+		t.Fail("PLcache (preload+pin)", err)
+	} else {
+		t.AddRow("PLcache (preload+pin)", ratio(rPin.Cycles, ins.Cycles),
+			fmt.Sprintf("%.1f%%", bystander(mPin)))
+	}
 
 	mBIA := MachineFor(1)
 	gotBIA := w.Run(mBIA, ct.BIA{}, p)
 	if gotBIA != w.Reference(p) {
-		panic("harness: pinning/bia run corrupted results")
+		t.Fail("BIA (L1d)", fmt.Errorf("harness: pinning/bia run corrupted results (checksum %#x, want %#x)", gotBIA, w.Reference(p)))
+	} else {
+		rBIA := mBIA.Report()
+		t.AddRow("BIA (L1d)", ratio(rBIA.Cycles, ins.Cycles),
+			fmt.Sprintf("%.1f%%", bystander(mBIA)))
 	}
-	rBIA := mBIA.Report()
-	missBIA := bystander(mBIA)
-
-	t.AddRow("PLcache (preload+pin)", ratio(rPin.Cycles, ins.Cycles), fmt.Sprintf("%.1f%%", missPin))
-	t.AddRow("BIA (L1d)", ratio(rBIA.Cycles, ins.Cycles), fmt.Sprintf("%.1f%%", missBIA))
 	t.Notes = append(t.Notes,
 		"PLcache leaves replacement/dirty metadata observable and cannot release its pins across context switches (Sec. 6.1); the miss-rate column shows its fairness cost")
 	return t
@@ -301,7 +309,7 @@ func runLLCBIA(o Options) *Table {
 	if o.Quick {
 		size = 800
 	}
-	traffic := func(lsHash int, seed int64) []uint64 {
+	traffic := func(lsHash int, seed int64) ([]uint64, error) {
 		mGran, ok := bia.LLCPlacement(lsHash)
 		if !ok {
 			panic("harness: infeasible placement requested")
@@ -313,16 +321,26 @@ func runLLCBIA(o Options) *Table {
 		cfg.BIA.ChunkShift = mGran
 		m := cpu.New(cfg)
 		w := workloads.Histogram{}
-		if w.Run(m, ct.BIA{}, workloads.Params{Size: size, Seed: seed}) != w.Reference(workloads.Params{Size: size, Seed: seed}) {
-			panic("harness: llcbia run corrupted results")
+		p := workloads.Params{Size: size, Seed: seed}
+		if got := w.Run(m, ct.BIA{}, p); got != w.Reference(p) {
+			return nil, fmt.Errorf("harness: llcbia run corrupted results (checksum %#x, want %#x)", got, w.Reference(p))
 		}
 		out := make([]uint64, 4)
 		copy(out, m.Hier.LLC().SliceTraffic)
-		return out
+		return out, nil
 	}
 	for _, lsHash := range []int{12, 9} {
 		mGran, _ := bia.LLCPlacement(lsHash)
-		a, b := traffic(lsHash, 1), traffic(lsHash, 2)
+		a, errA := traffic(lsHash, 1)
+		b, errB := traffic(lsHash, 2)
+		if errA != nil || errB != nil {
+			err := errA
+			if err == nil {
+				err = errB
+			}
+			t.Fail(fmt.Sprintf("LS_Hash=%d traffic", lsHash), err)
+			continue
+		}
 		t.AddRow(fmt.Sprintf("LS_Hash=%d (M=%d) traffic secret A", lsHash, mGran), fmt.Sprintf("%v", a))
 		t.AddRow(fmt.Sprintf("LS_Hash=%d (M=%d) traffic secret B", lsHash, mGran), fmt.Sprintf("%v", b))
 		t.AddRow(fmt.Sprintf("LS_Hash=%d identical", lsHash), fmt.Sprintf("%v", attacker.Equal(a, b)))
@@ -349,8 +367,9 @@ func runReplacement(o Options) *Table {
 		cfg := smallCacheConfig(1)
 		cfg.Levels[0].Policy = pol
 		m := cpu.New(cfg)
-		if w.Run(m, ct.BIA{}, p) != w.Reference(p) {
-			panic("harness: replacement run corrupted results")
+		if got := w.Run(m, ct.BIA{}, p); got != w.Reference(p) {
+			t.Fail(pol.String(), fmt.Errorf("harness: replacement run corrupted results (checksum %#x, want %#x)", got, w.Reference(p)))
+			continue
 		}
 		s := m.Hier.Level(1).Stats
 		t.AddRow(pol.String(), count(m.Report().Cycles),

@@ -28,6 +28,11 @@ type Table struct {
 	Rows    [][]string
 	// Notes carry caveats (model differences, scaled workloads).
 	Notes []string
+	// Failures records points that could not be measured (their Rows
+	// entries read FAILED). A table with failures is never cached, and
+	// ctbench exits non-zero after rendering everything. Excluded from
+	// JSON so cache entries and -json reports keep their layout.
+	Failures []*PointError `json:"-"`
 }
 
 // AddRow appends a row of stringified cells.
@@ -97,6 +102,13 @@ type Options struct {
 	// content-addressed result store and persists fresh results to it
 	// (subject to the store's mode). See RunAll and CacheKey.
 	Cache *resultcache.Store
+	// Manifest, when non-nil, journals each experiment's outcome for
+	// checkpoint-resume (see Manifest). Completed experiments land in
+	// it as "ok" with their cache key; failures as "failed". A
+	// `ctbench -resume` run loads the previous journal and lets the
+	// result cache serve the completed entries, so only missing and
+	// failed experiments simulate.
+	Manifest *Manifest
 }
 
 // parallel reports whether fan-out is enabled.

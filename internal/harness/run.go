@@ -8,6 +8,7 @@ import (
 	"ctbia/internal/cpu"
 	"ctbia/internal/ct"
 	"ctbia/internal/ctcrypto"
+	"ctbia/internal/faultinject"
 	"ctbia/internal/workloads"
 )
 
@@ -87,29 +88,58 @@ type strategyRuns struct {
 // compared configurations. Each run builds its own machine with its own
 // seeded RNGs, so when parallel is true the four fan out across
 // goroutines with no shared state and bit-identical results.
+//
+// A panicking strategy run is recovered into a PointError; the other
+// three strategies still complete (their traces and pool state stay
+// warm for a retry) and the first failure is re-panicked for the
+// caller's per-point recovery to turn into a FAILED row.
 func runAllStrategies(w workloads.Workload, p workloads.Params, parallel bool) strategyRuns {
 	var r strategyRuns
-	jobs := []func(){
-		func() { r.insecure = RunWorkload(w, p, ct.Direct{}, 0) },
-		func() { r.biaL1 = RunWorkload(w, p, ct.BIA{}, 1) },
-		func() { r.biaL2 = RunWorkload(w, p, ct.BIA{}, 2) },
-		func() { r.linear = RunWorkload(w, p, ct.Linear{}, 0) },
+	jobs := []struct {
+		name string
+		fn   func()
+	}{
+		{"insecure", func() { r.insecure = RunWorkload(w, p, ct.Direct{}, 0) }},
+		{"bia@1", func() { r.biaL1 = RunWorkload(w, p, ct.BIA{}, 1) }},
+		{"bia@2", func() { r.biaL2 = RunWorkload(w, p, ct.BIA{}, 2) }},
+		{"ct", func() { r.linear = RunWorkload(w, p, ct.Linear{}, 0) }},
+	}
+	var mu sync.Mutex
+	var firstErr *PointError
+	run := func(name string, fn func()) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				pe := toPointError(rec)
+				if pe.Strategy == "" {
+					pe.Strategy = name
+				}
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = pe
+				}
+				mu.Unlock()
+			}
+		}()
+		fn()
 	}
 	if !parallel {
 		for _, job := range jobs {
-			job()
+			run(job.name, job.fn)
 		}
-		return r
+	} else {
+		var wg sync.WaitGroup
+		for _, job := range jobs {
+			wg.Add(1)
+			go func(name string, fn func()) {
+				defer wg.Done()
+				run(name, fn)
+			}(job.name, job.fn)
+		}
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	for _, job := range jobs {
-		wg.Add(1)
-		go func(job func()) {
-			defer wg.Done()
-			job()
-		}(job)
+	if firstErr != nil {
+		panic(firstErr)
 	}
-	wg.Wait()
 	return r
 }
 
@@ -117,21 +147,42 @@ func runAllStrategies(w workloads.Workload, p workloads.Params, parallel bool) s
 // are the caller's responsibility to collect into index-addressed slots,
 // which keeps output order deterministic regardless of scheduling.
 //
+// Every invocation is panic-isolated: a panicking item is recovered
+// into a PointError in the returned slice (indexed like the items, nil
+// on success) and the remaining items still run. The returned slice is
+// nil when every item succeeded.
+//
 // workers <= 1 degenerates to a plain loop — no goroutines, no
 // channels — so a serial run pays nothing for the machinery. With a
 // worker per item there is no contention to arbitrate, so each item
 // gets its own goroutine directly instead of feeding an unbuffered
 // channel (whose per-item send/receive rendezvous made a single-CPU
 // "parallel" run measurably slower than serial).
-func forEachIndexed(n, workers int, fn func(i int)) {
+func forEachIndexed(n, workers int, fn func(i int)) []*PointError {
+	var errs []*PointError // allocated on first failure only
+	var errMu sync.Mutex
+	call := func(i int) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				pe := toPointError(rec)
+				errMu.Lock()
+				if errs == nil {
+					errs = make([]*PointError, n)
+				}
+				errs[i] = pe
+				errMu.Unlock()
+			}
+		}()
+		fn(i)
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			call(i)
 		}
-		return
+		return errs
 	}
 	var wg sync.WaitGroup
 	if workers >= n {
@@ -139,11 +190,11 @@ func forEachIndexed(n, workers int, fn func(i int)) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				fn(i)
+				call(i)
 			}(i)
 		}
 		wg.Wait()
-		return
+		return errs
 	}
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -151,7 +202,7 @@ func forEachIndexed(n, workers int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				fn(i)
+				call(i)
 			}
 		}()
 	}
@@ -160,19 +211,29 @@ func forEachIndexed(n, workers int, fn func(i int)) {
 	}
 	close(idx)
 	wg.Wait()
+	return errs
 }
 
 // Result is one experiment's outcome from RunAll: the rendered table
 // plus the wall time and the number of simulated machines the
 // experiment used (the counters cmd/ctbench's -json trajectory files
 // record across PRs). Cached marks results served from the result
-// cache instead of simulation; their Machines count is zero.
+// cache instead of simulation; their Machines count is zero. Err is
+// set when the experiment's Run panicked (the worker recovered it);
+// Table is then a FAILED placeholder. Point-level failures inside an
+// otherwise-complete experiment live in Table.Failures instead.
 type Result struct {
 	Experiment Experiment
 	Table      *Table
 	Wall       time.Duration
 	Machines   uint64
 	Cached     bool
+	Err        *PointError
+}
+
+// Failed reports whether the experiment failed wholly or in any point.
+func (r Result) Failed() bool {
+	return r.Err != nil || (r.Table != nil && r.Table.Failed())
 }
 
 // machineUses counts simulated-machine acquisitions: fresh builds plus
@@ -206,35 +267,96 @@ func RunAll(exps []Experiment, o Options) []Result {
 		o.Parallel = max
 	}
 	results := make([]Result, len(exps))
-	forEachIndexed(len(exps), o.Parallel, func(i int) {
+	errs := forEachIndexed(len(exps), o.Parallel, func(i int) {
 		start := time.Now()
+		id := exps[i].ID
+		// Chaos hook: a matching worker.panic rule kills exactly this
+		// worker; the recovery in forEachIndexed turns it into a
+		// FAILED result while the other experiments finish.
+		faultinject.Check("worker.panic", id, false)
 		var key string
-		if o.Cache != nil {
+		if o.Cache != nil || o.Manifest != nil {
 			key = CacheKey(exps[i], o)
+		}
+		if o.Cache != nil {
 			var cached Table
 			if o.Cache.Load(key, &cached) {
-				results[i] = Result{
-					Experiment: exps[i],
-					Table:      &cached,
-					Wall:       time.Since(start),
-					Cached:     true,
+				if tableUsable(&cached, id) {
+					wall := time.Since(start)
+					results[i] = Result{
+						Experiment: exps[i],
+						Table:      &cached,
+						Wall:       wall,
+						Cached:     true,
+					}
+					o.Manifest.Record(id, ManifestEntry{
+						Status: "ok", Key: key,
+						WallMS: float64(wall.Microseconds()) / 1000,
+					})
+					return
 				}
-				return
+				// Decodable but unusable (garbage JSON body, wrong
+				// experiment): quarantine the entry so it cannot
+				// re-fail every run, and recompute.
+				o.Cache.Quarantine(key)
 			}
 		}
 		before := machineUses()
 		table := exps[i].Run(o)
+		wall := time.Since(start)
 		results[i] = Result{
 			Experiment: exps[i],
 			Table:      table,
-			Wall:       time.Since(start),
+			Wall:       wall,
 			Machines:   machineUses() - before,
+		}
+		if table.Failed() {
+			// A table with FAILED points must never be served from
+			// the cache; journal the failure so -resume re-runs it.
+			o.Manifest.Record(id, ManifestEntry{
+				Status: "failed", Key: key,
+				Error:  firstLine(table.Failures[0].Error()),
+				WallMS: float64(wall.Microseconds()) / 1000,
+			})
+			return
 		}
 		if o.Cache != nil {
 			// Best-effort: a failed write costs the next run a
 			// recompute, which is the cache's miss behaviour anyway.
 			_ = o.Cache.Save(key, table)
 		}
+		o.Manifest.Record(id, ManifestEntry{
+			Status: "ok", Key: key,
+			WallMS: float64(wall.Microseconds()) / 1000,
+		})
 	})
+	for i, pe := range errs {
+		if pe == nil {
+			continue
+		}
+		pe.Experiment = exps[i].ID
+		results[i] = Result{Experiment: exps[i], Table: failedTable(exps[i], pe), Err: pe}
+		o.Manifest.Record(exps[i].ID, ManifestEntry{
+			Status: "failed", Key: CacheKey(exps[i], o),
+			Error: firstLine(pe.Err.Error()),
+		})
+	}
 	return results
+}
+
+// tableUsable validates a cache-loaded table before serving it: the
+// stored JSON may decode cleanly yet be garbage (a `null` body yields a
+// zero table, a doctored entry can carry the wrong experiment). Such an
+// entry is quarantined and recomputed — a corrupted cache must cost a
+// recompute, never a wrong table.
+func tableUsable(t *Table, id string) bool {
+	if t.ID != id || len(t.Headers) == 0 {
+		return false
+	}
+	for _, row := range t.Rows {
+		if len(row) == 0 {
+			return false
+		}
+	}
+	return true
 }

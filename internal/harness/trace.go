@@ -4,12 +4,15 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ctbia/internal/cpu"
 	"ctbia/internal/ct"
 	"ctbia/internal/ctcrypto"
+	"ctbia/internal/faultinject"
 	"ctbia/internal/resultcache"
 	"ctbia/internal/trace"
 	"ctbia/internal/workloads"
@@ -108,13 +111,36 @@ var traceEngine = struct {
 	// maxTraceOps), so repeats run direct instead of paying the
 	// doomed recording again.
 	dead map[string]struct{}
-}{entries: make(map[string]*traceEntry), dead: make(map[string]struct{})}
+	// transients counts transient replay failures per key; at
+	// quarantineAfter the key moves to quarantined and the engine is
+	// bypassed for it permanently (this process), so a persistently
+	// bad point can never loop through retries.
+	transients  map[string]int
+	quarantined map[string]string // key -> point label, for reporting
+}{
+	entries:     make(map[string]*traceEntry),
+	dead:        make(map[string]struct{}),
+	transients:  make(map[string]int),
+	quarantined: make(map[string]string),
+}
 
 var (
 	traceRecords   atomic.Uint64
 	traceReplays   atomic.Uint64
 	traceRerecords atomic.Uint64
+	traceRetries   atomic.Uint64
 )
+
+// Retry policy for transient trace-layer failures: capped exponential
+// backoff before each degraded (direct-simulation) retry, quarantine
+// after quarantineAfter transient failures of the same key. The backoff
+// base is a variable so chaos tests can zero it.
+var (
+	retryBackoffBase = 2 * time.Millisecond
+	retryBackoffCap  = 50 * time.Millisecond
+)
+
+const quarantineAfter = 3
 
 // SetTraceMode switches the engine's mode (default TraceOn).
 func SetTraceMode(m TraceMode) {
@@ -153,10 +179,13 @@ func ResetTraces() {
 	traceEngine.entries = make(map[string]*traceEntry)
 	traceEngine.ops = 0
 	traceEngine.dead = make(map[string]struct{})
+	traceEngine.transients = make(map[string]int)
+	traceEngine.quarantined = make(map[string]string)
 	traceEngine.mu.Unlock()
 	traceRecords.Store(0)
 	traceReplays.Store(0)
 	traceRerecords.Store(0)
+	traceRetries.Store(0)
 }
 
 // TraceStats returns the engine's counters since the last ResetTraces:
@@ -164,6 +193,62 @@ func ResetTraces() {
 // that were silently re-recorded.
 func TraceStats() (records, replays, rerecords uint64) {
 	return traceRecords.Load(), traceReplays.Load(), traceRerecords.Load()
+}
+
+// TraceFaultStats returns the fault-tolerance counters since the last
+// ResetTraces: degraded retries after transient replay failures, and
+// keys quarantined for repeat offenses.
+func TraceFaultStats() (retries, quarantined uint64) {
+	traceEngine.mu.RLock()
+	q := uint64(len(traceEngine.quarantined))
+	traceEngine.mu.RUnlock()
+	return traceRetries.Load(), q
+}
+
+// QuarantinedPoints lists the labels of quarantined points (sorted) so
+// ctbench can report repeat offenders alongside the run summary.
+func QuarantinedPoints() []string {
+	traceEngine.mu.RLock()
+	out := make([]string, 0, len(traceEngine.quarantined))
+	for _, label := range traceEngine.quarantined {
+		out = append(out, label)
+	}
+	traceEngine.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// isQuarantined reports whether the key's trace engine access is
+// disabled after repeated transient failures.
+func isQuarantined(key string) bool {
+	traceEngine.mu.RLock()
+	_, ok := traceEngine.quarantined[key]
+	traceEngine.mu.RUnlock()
+	return ok
+}
+
+// noteTransient books one transient trace-layer failure for key,
+// quarantining repeat offenders, and sleeps the capped exponential
+// backoff before the caller's degraded retry.
+func noteTransient(key, label string, err error) {
+	traceRetries.Add(1)
+	traceEngine.mu.Lock()
+	traceEngine.transients[key]++
+	n := traceEngine.transients[key]
+	if n >= quarantineAfter {
+		traceEngine.quarantined[key] = label
+	}
+	traceEngine.mu.Unlock()
+	if traceDebug {
+		fmt.Fprintf(os.Stderr, "TRACEDBG transient %s (failure %d): %v\n", label, n, err)
+	}
+	backoff := retryBackoffBase << (n - 1)
+	if backoff > retryBackoffCap || backoff <= 0 {
+		backoff = retryBackoffCap
+	}
+	if retryBackoffBase > 0 {
+		time.Sleep(backoff)
+	}
 }
 
 // strategyFingerprint returns a string capturing everything about s
@@ -233,10 +318,16 @@ func lookupTrace(key string) *traceEntry {
 	if e != nil || dir == "" {
 		return e
 	}
+	if faultinject.Should("trace.read", key) {
+		return nil // injected read failure: a persisted trace is just a miss
+	}
 	buf, err := os.ReadFile(traceFilePath(dir, key))
 	if err != nil {
 		return nil
 	}
+	// Injected on-disk corruption: flipped bytes must fail the CRC (or
+	// the embedded-key check) below and decay to a miss + re-record.
+	buf = faultinject.Corrupt("trace.corrupt", key, buf)
 	fkey, meta, ops, err := trace.Decode(buf)
 	if err != nil || fkey != key || len(meta) != 9 {
 		return nil
@@ -270,6 +361,9 @@ func storeTrace(key string, e *traceEntry) {
 	traceEngine.mu.RUnlock()
 	if dir == "" {
 		return
+	}
+	if faultinject.Should("trace.write", key) {
+		return // injected write failure: persistence is best-effort anyway
 	}
 	meta := make([]uint64, 0, 9)
 	meta = append(meta, e.sum)
@@ -315,48 +409,102 @@ func unpackReport(m []uint64) cpu.Report {
 }
 
 // verifySum enforces the harness invariant that no experiment reports
-// numbers from a run with a wrong answer.
+// numbers from a run with a wrong answer. It panics with a typed
+// *PointError: a wrong checksum from a direct simulation is a permanent
+// simulator bug — never retried — that the worker recovery layers turn
+// into a FAILED row instead of a crashed sweep.
 func verifySum(label string, got, want uint64) {
 	if got != want {
-		panic(fmt.Sprintf("harness: %s produced checksum %#x, reference %#x — simulator bug",
-			label, got, want))
+		panic(&PointError{Point: label, Attempts: 1,
+			Err: fmt.Errorf("harness: %s produced checksum %#x, reference %#x — simulator bug",
+				label, got, want)})
 	}
+}
+
+// runDirect simulates one point with no trace-engine involvement (the
+// degraded path). On a verification panic the machine is abandoned
+// rather than pooled.
+func runDirect(pool *cpu.Pool, label string, ref func() uint64, sim func(m *cpu.Machine) uint64) cpu.Report {
+	m := pool.Get()
+	got := sim(m)
+	verifySum(label, got, ref())
+	r := m.Report()
+	pool.Put(m)
+	return r
+}
+
+// replayTrace replays one stored stream, recovering any panic in the
+// replay layer (an injected fault, or a corrupt decoded stream crashing
+// the batched interpreter) into err so the caller can retry through the
+// degraded path. ok=false with err=nil means the entry is merely stale
+// (checksum or report mismatch) — re-record, no retry accounting.
+func replayTrace(pool *cpu.Pool, label string, e *traceEntry, refSum uint64) (r cpu.Report, ok bool, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if f, isFault := rec.(*faultinject.Fault); isFault && !f.Transient {
+				panic(rec) // permanent injected faults are not the replay layer's to absorb
+			}
+			ok = false
+			err = fmt.Errorf("trace replay %s: %v", label, rec)
+		}
+	}()
+	faultinject.Check("trace.replay", label, true)
+	if e.sum != refSum {
+		return r, false, nil
+	}
+	m := pool.Get()
+	m.ExecTrace(e.ops)
+	r = m.Report()
+	// Pool the machine only after it proved healthy: a replay that
+	// produced the wrong report may have left arbitrary state behind.
+	if r != e.rep {
+		return r, false, nil
+	}
+	pool.Put(m)
+	return r, true, nil
 }
 
 // runTraced executes one simulation point through the trace engine: a
 // stored stream whose checksum and report re-verify is replayed on a
 // pooled machine; otherwise the workload runs for real (recording it
-// for next time unless untraceable or disabled). On a verification
-// panic the machine is abandoned rather than pooled.
+// for next time unless untraceable or disabled).
+//
+// Fault tolerance: a transient replay failure (injected fault, crashing
+// interpreter) is retried through the degraded direct path after a
+// capped exponential backoff; keys that keep failing are quarantined —
+// bypassing the engine entirely — and reported via QuarantinedPoints.
 func runTraced(pool *cpu.Pool, key, label string, ref func() uint64, sim func(m *cpu.Machine) uint64) cpu.Report {
 	mode := TraceModeNow()
 	if mode == TraceOff || key == "" {
 		if traceDebug && key == "" {
 			fmt.Fprintf(os.Stderr, "TRACEDBG untraceable %s\n", label)
 		}
-		m := pool.Get()
-		got := sim(m)
-		verifySum(label, got, ref())
-		r := m.Report()
-		pool.Put(m)
-		return r
+		return runDirect(pool, label, ref, sim)
+	}
+
+	if isQuarantined(key) {
+		if traceDebug {
+			fmt.Fprintf(os.Stderr, "TRACEDBG quarantined %s\n", label)
+		}
+		return runDirect(pool, label, ref, sim)
 	}
 
 	if mode == TraceOn {
 		if e := lookupTrace(key); e != nil {
-			if e.sum == ref() {
-				m := pool.Get()
-				m.ExecTrace(e.ops)
-				r := m.Report()
-				pool.Put(m)
-				if r == e.rep {
-					traceReplays.Add(1)
-					return r
-				}
+			r, ok, err := replayTrace(pool, label, e, ref())
+			if ok {
+				traceReplays.Add(1)
+				return r
 			}
 			// Stale or corrupt: forget it and re-record below.
 			dropTrace(key)
 			traceRerecords.Add(1)
+			if err != nil {
+				// Transient replay failure: book it (quarantining
+				// repeat offenders), back off, then fall through to
+				// the degraded re-record/direct path below.
+				noteTransient(key, label, err)
+			}
 		}
 	}
 
@@ -367,12 +515,7 @@ func runTraced(pool *cpu.Pool, key, label string, ref func() uint64, sim func(m 
 		if traceDebug {
 			fmt.Fprintf(os.Stderr, "TRACEDBG deadrun %s\n", label)
 		}
-		m := pool.Get()
-		got := sim(m)
-		verifySum(label, got, ref())
-		r := m.Report()
-		pool.Put(m)
-		return r
+		return runDirect(pool, label, ref, sim)
 	}
 
 	m := pool.Get()

@@ -24,6 +24,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+
+	"ctbia/internal/faultinject"
 )
 
 // Mode selects how the store behaves.
@@ -100,7 +102,7 @@ type Store struct {
 	mode   Mode
 	pruned int
 
-	hits, misses, writes atomic.Uint64
+	hits, misses, writes, quarantines atomic.Uint64
 }
 
 // versionMarker is the file recording which version salt the
@@ -169,6 +171,7 @@ func clearEntries(dir string) int {
 	for _, pat := range []string{
 		filepath.Join(dir, "*.json"),
 		filepath.Join(dir, TracesSubdir, "*.trace"),
+		filepath.Join(dir, QuarantineSubdir, "*.json.bad"),
 	} {
 		matches, _ := filepath.Glob(pat)
 		for _, f := range matches {
@@ -240,10 +243,22 @@ func cleanKey(key string) string {
 
 // Load decodes the entry for key into v and reports whether it hit.
 // Missing, unreadable and undecodable entries all report false:
-// corruption is a miss (costing a recompute), never an error. On a
-// false return v may hold a partial decode and must not be used.
+// corruption is a miss (costing a recompute), never an error. A
+// truncated, garbage or zero-length entry body is additionally
+// quarantined — moved aside so it cannot re-fail on every run — before
+// reporting the miss. On a false return v may hold a partial decode
+// and must not be used.
+//
+// Note that a corrupt body can still decode cleanly into a structurally
+// wrong value (JSON `null` yields the zero value); callers that can
+// validate shape should do so and call Quarantine on rejects (the
+// harness validates cached tables this way).
 func (s *Store) Load(key string, v any) bool {
 	if s == nil {
+		return false
+	}
+	if faultinject.Should("cache.read", key) {
+		s.misses.Add(1)
 		return false
 	}
 	buf, err := os.ReadFile(s.path(key))
@@ -251,12 +266,63 @@ func (s *Store) Load(key string, v any) bool {
 		s.misses.Add(1)
 		return false
 	}
-	if err := json.Unmarshal(buf, v); err != nil {
+	buf = faultinject.Corrupt("cache.corrupt", key, buf)
+	if len(buf) == 0 || json.Unmarshal(buf, v) != nil {
+		s.Quarantine(key)
 		s.misses.Add(1)
 		return false
 	}
 	s.hits.Add(1)
 	return true
+}
+
+// QuarantineSubdir is where a read-write store moves entries it cannot
+// decode (or that a caller's validation rejected); keeping them aside
+// preserves the evidence for debugging without re-tripping every run.
+const QuarantineSubdir = "quarantine"
+
+// Quarantine moves the entry for key out of the served set into the
+// quarantine subdirectory. Best-effort: on a read-only store (which
+// must not mutate shared state) or any rename failure the entry simply
+// stays, costing a recompute per run. Safe on a nil store.
+func (s *Store) Quarantine(key string) {
+	if s == nil {
+		return
+	}
+	s.quarantines.Add(1)
+	if s.mode != ReadWrite {
+		return
+	}
+	qdir := filepath.Join(s.dir, QuarantineSubdir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return
+	}
+	_ = os.Rename(s.path(key), filepath.Join(qdir, cleanKey(key)+".json.bad"))
+}
+
+// Quarantined returns how many entries were quarantined since Open.
+func (s *Store) Quarantined() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.quarantines.Load()
+}
+
+// EnsureWritable verifies dir can host a store: it must be creatable
+// and allow file creation. CLIs call this up front so a bad -cachedir
+// or -tracedir is a friendly flag error, not a sweep that silently
+// caches nothing (or dies mid-run).
+func EnsureWritable(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("resultcache: cannot create %s: %w", dir, err)
+	}
+	probe, err := os.CreateTemp(dir, "tmp-probe-*")
+	if err != nil {
+		return fmt.Errorf("resultcache: %s is not writable: %w", dir, err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
+	return nil
 }
 
 // Save persists v under key. A nil or read-only store ignores the
@@ -265,6 +331,9 @@ func (s *Store) Load(key string, v any) bool {
 func (s *Store) Save(key string, v any) error {
 	if s == nil || s.mode != ReadWrite {
 		return nil
+	}
+	if faultinject.Should("cache.write", key) {
+		return fmt.Errorf("resultcache: %w", &faultinject.Fault{Point: "cache.write", Key: key, Transient: true})
 	}
 	buf, err := json.MarshalIndent(v, "", " ")
 	if err != nil {

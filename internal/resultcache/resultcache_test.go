@@ -1,9 +1,12 @@
 package resultcache
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"ctbia/internal/faultinject"
 )
 
 type payload struct {
@@ -257,5 +260,190 @@ func TestClear(t *testing.T) {
 	var nilStore *Store
 	if n, err := nilStore.Clear(); n != 0 || err != nil {
 		t.Errorf("nil store Clear = %d, %v", n, err)
+	}
+}
+
+// TestCorruptionQuarantined covers every corruption shape PR 4's
+// robustness work guards against: truncated, garbage and zero-length
+// bodies all miss, move into quarantine/, and leave the slot writable.
+func TestCorruptionQuarantined(t *testing.T) {
+	cases := map[string][]byte{
+		"zero-length": {},
+		"garbage":     []byte("\x00\xffnot json at all"),
+		"truncated":   []byte(`{"Name":"half`),
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			s := openRW(t)
+			key := Key("salt", name)
+			if err := s.Save(key, payload{Name: "good", Vals: []int{1, 2}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(s.path(key), body, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var got payload
+			if s.Load(key, &got) {
+				t.Fatal("corrupt entry reported a hit")
+			}
+			if s.Quarantined() != 1 {
+				t.Fatalf("Quarantined()=%d, want 1", s.Quarantined())
+			}
+			bad := filepath.Join(s.dir, QuarantineSubdir, cleanKey(key)+".json.bad")
+			if _, err := os.Stat(bad); err != nil {
+				t.Fatalf("quarantine file missing: %v", err)
+			}
+			if _, err := os.Stat(s.path(key)); !os.IsNotExist(err) {
+				t.Fatalf("corrupt entry still in the served set (err %v)", err)
+			}
+			// The same load never re-trips: the slot is a plain miss now.
+			if s.Load(key, &got) {
+				t.Fatal("quarantined slot reported a hit")
+			}
+			if s.Quarantined() != 2 {
+				// Counting the caller-visible miss is fine; what matters
+				// is the file moved exactly once.
+				t.Logf("note: Quarantined()=%d after second miss", s.Quarantined())
+			}
+			if err := s.Save(key, payload{Name: "repaired"}); err != nil {
+				t.Fatal(err)
+			}
+			if !s.Load(key, &got) || got.Name != "repaired" {
+				t.Fatalf("slot unusable after quarantine: %+v", got)
+			}
+		})
+	}
+}
+
+// A read-only store must not move files even when it finds corruption —
+// it just misses.
+func TestQuarantineReadOnlyDoesNotMutate(t *testing.T) {
+	dir := t.TempDir()
+	rw, err := Open(dir, ReadWrite, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("salt", "ro")
+	if err := rw.Save(key, payload{Name: "good"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(rw.path(key), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Open(dir, ReadOnly, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if ro.Load(key, &got) {
+		t.Fatal("corrupt entry reported a hit")
+	}
+	if _, err := os.Stat(ro.path(key)); err != nil {
+		t.Fatalf("read-only store moved the entry: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, QuarantineSubdir)); !os.IsNotExist(err) {
+		t.Fatalf("read-only store created quarantine/ (err %v)", err)
+	}
+}
+
+// Clear and the salt prune both sweep quarantined entries too.
+func TestClearCoversQuarantine(t *testing.T) {
+	s := openRW(t)
+	key := Key("salt", "q")
+	if err := s.Save(key, payload{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(key), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	s.Load(key, &got) // quarantines
+	n, err := s.Clear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Clear removed %d entries, want the 1 quarantined file", n)
+	}
+	left, _ := filepath.Glob(filepath.Join(s.dir, QuarantineSubdir, "*"))
+	if len(left) != 0 {
+		t.Fatalf("quarantine not emptied: %v", left)
+	}
+}
+
+// The injected I/O faults: cache.read makes Load miss without touching
+// the (healthy) entry; cache.write makes Save return a transient error.
+func TestInjectedCacheFaults(t *testing.T) {
+	s := openRW(t)
+	key := Key("salt", "faulty")
+	if err := s.Save(key, payload{Name: "good"}); err != nil {
+		t.Fatal(err)
+	}
+
+	inj, err := faultinject.Parse("cache.read@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(inj)
+	defer faultinject.Disarm()
+	var got payload
+	if s.Load(key, &got) {
+		t.Fatal("injected read fault still hit")
+	}
+	// @1 is one-shot: the next load must hit the untouched entry.
+	if !s.Load(key, &got) || got.Name != "good" {
+		t.Fatalf("healthy entry lost after injected read fault: %+v", got)
+	}
+
+	inj, err = faultinject.Parse("cache.write@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(inj)
+	err = s.Save(key, payload{Name: "update"})
+	if err == nil {
+		t.Fatal("injected write fault did not surface")
+	}
+	var f *faultinject.Fault
+	if !errors.As(err, &f) || !f.Transient {
+		t.Fatalf("want a transient *faultinject.Fault, got %v", err)
+	}
+	// The failed write must not have clobbered the entry.
+	if !s.Load(key, &got) || got.Name != "good" {
+		t.Fatalf("entry damaged by failed write: %+v", got)
+	}
+}
+
+// An injected cache.corrupt flips bytes deterministically on read; the
+// entry then quarantines like real corruption.
+func TestInjectedCacheCorruption(t *testing.T) {
+	s := openRW(t)
+	key := Key("salt", "flip")
+	if err := s.Save(key, payload{Name: "good"}); err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faultinject.Parse("seed=7; cache.corrupt@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(inj)
+	defer faultinject.Disarm()
+	var got payload
+	if s.Load(key, &got) {
+		// A flipped byte may happen to keep the JSON valid; only a
+		// decode failure quarantines. Either way it must not crash.
+		t.Skip("flip landed on a byte that kept the entry decodable")
+	}
+	if s.Quarantined() != 1 {
+		t.Fatalf("Quarantined()=%d, want 1", s.Quarantined())
+	}
+}
+
+func TestEnsureWritable(t *testing.T) {
+	if err := EnsureWritable(filepath.Join(t.TempDir(), "new", "nested")); err != nil {
+		t.Fatalf("fresh nested dir: %v", err)
+	}
+	if err := EnsureWritable("/proc/definitely/not/writable"); err == nil {
+		t.Fatal("unwritable path accepted")
 	}
 }
