@@ -10,6 +10,7 @@ import (
 	"ctbia/internal/cpu"
 	"ctbia/internal/harness"
 	"ctbia/internal/memp"
+	"ctbia/internal/obs"
 	"ctbia/internal/resultcache"
 	"ctbia/internal/workloads"
 
@@ -46,6 +47,16 @@ type benchSnapshot struct {
 	// Machine economy over the serial run.
 	MachinesBuilt  uint64 `json:"machines_built"`
 	MachinesReused uint64 `json:"machines_reused"`
+
+	// Observability: the serial selection re-run with the metrics
+	// registry armed and the timeline collecting, against the disarmed
+	// serial wall above. The overhead must stay in the noise; the
+	// snapshot records it so the trajectory catches a regression in the
+	// instrumentation itself. Metrics is the armed run's harvest.
+	ObsArmedWallMS float64           `json:"obs_armed_wall_ms"`
+	ObsOverheadPct float64           `json:"obs_overhead_pct"`
+	TimelineEvents int               `json:"obs_timeline_events"`
+	Metrics        map[string]uint64 `json:"metrics,omitempty"`
 
 	// Core-path allocation counts (testing.AllocsPerRun).
 	// RunWorkloadAllocs measures the direct (trace-off) path;
@@ -132,6 +143,28 @@ func writeBenchSnapshot(path string, selected []harness.Experiment, opts harness
 			}
 		}
 	}
+
+	// Armed observability overhead: the exact serial configuration from
+	// the first phase (trace and cache off), with the registry and
+	// timeline on.
+	obs.Reset()
+	obs.ResetTimeline()
+	obs.ResetProgress()
+	obs.Arm()
+	obs.EnableTimeline()
+	start = time.Now()
+	harness.RunAll(selected, serialOpts)
+	snap.ObsArmedWallMS = float64(time.Since(start).Microseconds()) / 1000
+	snap.TimelineEvents = obs.TimelineEventCount()
+	if snap.SerialWallMS > 0 {
+		snap.ObsOverheadPct = (snap.ObsArmedWallMS - snap.SerialWallMS) / snap.SerialWallMS * 100
+	}
+	snap.Metrics = obs.Snapshot()
+	obs.Disarm()
+	obs.DisableTimeline()
+	obs.ResetTimeline()
+	obs.Reset()
+	obs.ResetProgress()
 
 	// Allocation counts on the core paths. These must stay at zero for
 	// the access paths; the Go-test suite enforces the same budgets.

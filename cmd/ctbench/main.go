@@ -48,6 +48,16 @@
 //	                          # parallel wall time, allocs/op on the
 //	                          # core paths, cache-hit re-run time) and
 //	                          # write it as JSON
+//	ctbench -timeline t.json  # arm the observability layer and write a
+//	                          # Chrome trace-event timeline of every
+//	                          # harness phase (open in Perfetto or
+//	                          # chrome://tracing)
+//	ctbench -listen :8080     # serve live introspection while the sweep
+//	                          # runs: /metrics (Prometheus text),
+//	                          # /metrics.json, /progress, /debug/vars
+//	                          # (expvar) and /debug/pprof
+//	ctbench -progress         # print a progress line with ETA to stderr
+//	                          # every few seconds (long sweeps)
 //	ctbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -65,6 +75,7 @@ import (
 	"ctbia/internal/cpu"
 	"ctbia/internal/faultinject"
 	"ctbia/internal/harness"
+	"ctbia/internal/obs"
 	"ctbia/internal/resultcache"
 )
 
@@ -80,6 +91,10 @@ type jsonExperiment struct {
 	Headers  []string   `json:"headers,omitempty"`
 	Rows     [][]string `json:"rows,omitempty"`
 	Notes    []string   `json:"notes,omitempty"`
+	// Metrics is the experiment's observability delta (BIA lines
+	// skipped, per-level cache stats, probe outcomes, ...) — attribution
+	// is exact in serial runs, approximate under parallelism.
+	Metrics map[string]uint64 `json:"metrics,omitempty"`
 }
 
 // jsonReport is the -json file layout. "machines" counts simulated
@@ -90,21 +105,27 @@ type jsonExperiment struct {
 // exact — trajectory tooling should trend the totals and the
 // per-experiment wall times.
 type jsonReport struct {
-	Created        string           `json:"created"`
-	Quick          bool             `json:"quick"`
-	Parallel       int              `json:"parallel"`
-	GOMAXPROCS     int              `json:"gomaxprocs"`
-	WallMS         float64          `json:"wall_ms"`
-	Machines       uint64           `json:"machines"`
-	MachinesBuilt  uint64           `json:"machines_built"`
-	MachinesReused uint64           `json:"machines_reused"`
-	CacheMode      string           `json:"cache_mode"`
-	CacheHits      int              `json:"cache_hits"`
-	CacheDir       string           `json:"cache_dir,omitempty"`
-	TraceMode      string           `json:"trace_mode"`
-	TraceRecords   uint64           `json:"trace_records"`
-	TraceReplays   uint64           `json:"trace_replays"`
-	Experiments    []jsonExperiment `json:"experiments"`
+	Created        string  `json:"created"`
+	Quick          bool    `json:"quick"`
+	Parallel       int     `json:"parallel"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	WallMS         float64 `json:"wall_ms"`
+	Machines       uint64  `json:"machines"`
+	MachinesBuilt  uint64  `json:"machines_built"`
+	MachinesReused uint64  `json:"machines_reused"`
+	CacheMode      string  `json:"cache_mode"`
+	CacheHits      int     `json:"cache_hits"`
+	CacheDir       string  `json:"cache_dir,omitempty"`
+	TraceMode      string  `json:"trace_mode"`
+	TraceRecords   uint64  `json:"trace_records"`
+	TraceReplays   uint64  `json:"trace_replays"`
+	// Provenance stamps the producing toolchain and configuration so a
+	// result file is self-describing for trajectory tooling.
+	Provenance harness.Provenance `json:"provenance"`
+	// Metrics is the run-level observability snapshot (superset of the
+	// per-experiment deltas; exact at every worker count).
+	Metrics     map[string]uint64 `json:"metrics,omitempty"`
+	Experiments []jsonExperiment  `json:"experiments"`
 }
 
 func fatal(err error) {
@@ -132,9 +153,21 @@ func main() {
 	faults := flag.String("faults", "", "arm deterministic fault injection, e.g. 'seed=1; worker.panic@1' (chaos testing)")
 	jsonOut := flag.String("json", "", "write a machine-readable result file (wall times, machine counts, cache hits, table rows)")
 	benchJSON := flag.String("benchjson", "", "run the perf snapshot suite and write it to this file")
+	timelineOut := flag.String("timeline", "", "write a Chrome trace-event timeline of harness phases to this file (open in Perfetto or chrome://tracing)")
+	listen := flag.String("listen", "", "serve live introspection on this address during the run (/metrics, /metrics.json, /progress, /debug/vars, /debug/pprof)")
+	progress := flag.Bool("progress", false, "print a progress line with ETA to stderr during the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	// The flag line feeds the provenance stamp in the manifest and -json
+	// report (flag.Visit walks set flags in lexical order, so the line
+	// is deterministic for a given invocation).
+	var setFlags []string
+	flag.Visit(func(f *flag.Flag) {
+		setFlags = append(setFlags, "-"+f.Name+"="+f.Value.String())
+	})
+	flagLine := strings.Join(setFlags, " ")
 
 	if *list {
 		for _, e := range harness.Experiments() {
@@ -241,6 +274,35 @@ func main() {
 		}
 	}
 
+	// Observability. The instrumented layers cost one atomic load per
+	// probe while disarmed, so the registry arms only when something
+	// will actually read it: a -json report, a timeline, a live
+	// endpoint or a progress line.
+	if *jsonOut != "" || *timelineOut != "" || *listen != "" || *progress {
+		obs.Arm()
+	}
+	obs.RegisterSource(store.EmitMetrics)
+	var timelineFile *os.File
+	if *timelineOut != "" {
+		f, err := os.Create(*timelineOut)
+		if err != nil {
+			usageErr("-timeline: %v", err)
+		}
+		timelineFile = f
+		obs.EnableTimeline()
+	}
+	if *listen != "" {
+		addr, err := obs.Serve(*listen)
+		if err != nil {
+			usageErr("-listen: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ctbench: live introspection on http://%s/metrics (also /metrics.json, /progress, /debug/vars, /debug/pprof)\n", addr)
+	}
+	stopProgress := func() {}
+	if *progress {
+		stopProgress = obs.StartProgress(os.Stderr, 2*time.Second)
+	}
+
 	// A writable cache gets a manifest journal alongside it: every
 	// experiment outcome lands there as it completes, so a crashed or
 	// partially failed sweep can be finished with -resume.
@@ -263,6 +325,9 @@ func main() {
 			manifest = harness.NewManifest(mpath, *quick)
 		}
 	}
+	// Stamp the journal with the producing run's provenance (nil-safe
+	// when no manifest is in play).
+	manifest.SetProvenance(harness.NewProvenance(flagLine))
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -295,6 +360,7 @@ func main() {
 	builtBefore, reusedBefore := cpu.MachinesBuilt(), cpu.MachinesReset()
 	results := harness.RunAll(selected, opts)
 	wall := time.Since(start)
+	stopProgress()
 	built := cpu.MachinesBuilt() - builtBefore
 	reused := cpu.MachinesReset() - reusedBefore
 
@@ -329,6 +395,20 @@ func main() {
 	if q := store.Quarantined(); q > 0 {
 		fmt.Fprintf(os.Stderr, "ctbench: %d corrupt result-cache entries quarantined\n", q)
 	}
+
+	// The timeline lands before any failure exit so a partially failed
+	// sweep still leaves its trace behind for inspection.
+	if timelineFile != nil {
+		err := obs.WriteTimeline(timelineFile)
+		if cerr := timelineFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(fmt.Errorf("-timeline: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "ctbench: timeline: %d events written to %s (open in Perfetto or chrome://tracing)\n",
+			obs.TimelineEventCount(), *timelineOut)
+	}
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "\nctbench: %d point(s) FAILED (all other points completed):\n", len(failures))
 		for _, pe := range failures {
@@ -355,6 +435,8 @@ func main() {
 			TraceMode:      tmode.String(),
 			TraceRecords:   traceRecs,
 			TraceReplays:   traceReps,
+			Provenance:     harness.NewProvenance(flagLine),
+			Metrics:        obs.Snapshot(),
 		}
 		for _, r := range results {
 			je := jsonExperiment{
@@ -367,6 +449,7 @@ func main() {
 				Headers:  r.Table.Headers,
 				Rows:     r.Table.Rows,
 				Notes:    r.Table.Notes,
+				Metrics:  r.Metrics,
 			}
 			if r.Err != nil {
 				je.Errors = append(je.Errors, r.Err.Error())

@@ -13,6 +13,7 @@ import (
 	"ctbia/internal/ct"
 	"ctbia/internal/harness"
 	"ctbia/internal/memp"
+	"ctbia/internal/obs"
 	"ctbia/internal/workloads"
 )
 
@@ -24,12 +25,17 @@ func traceFor(w workloads.Workload, strat ct.Strategy, biaLevel int, p workloads
 		fmt.Fprintf(os.Stderr, "FUNCTIONAL BUG: %s/%s checksum %#x want %#x\n", w.Name(), strat.Name(), got, want)
 		os.Exit(1)
 	}
+	if obs.Enabled() {
+		m.EmitMetrics(obs.Add)
+	}
 	return tr.Key()
 }
 
 func main() {
 	samples := flag.Int("samples", 5, "number of random secrets per configuration")
 	size := flag.Int("size", 1000, "workload size (dijkstra uses size/8 rounded to 16)")
+	metrics := flag.Bool("metrics", false, "print the observability metrics snapshot as JSON after the evaluation")
+	listen := flag.String("listen", "", "serve live introspection on this address during the run (/metrics, /metrics.json, /debug/pprof)")
 	flag.Parse()
 
 	// Flag misuse is exit 2, before any simulation starts.
@@ -40,6 +46,17 @@ func main() {
 	if *size < 1 {
 		fmt.Fprintf(os.Stderr, "ctsec: -size %d: workload size must be positive\n", *size)
 		os.Exit(2)
+	}
+	if *metrics || *listen != "" {
+		obs.Arm()
+	}
+	if *listen != "" {
+		addr, err := obs.Serve(*listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctsec: -listen: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "ctsec: live introspection on http://%s/metrics\n", addr)
 	}
 
 	fmt.Println("== Fig. 10: per-cache-set access counts (histogram) ==")
@@ -106,6 +123,15 @@ func main() {
 	hot := pp.HotSets(pp.Probe())
 	fmt.Printf("victim touched line %d (set %d); attacker sees hot sets %v\n",
 		secretLine, pp.SetOfVictim(victimAddr), hot)
+
+	// The metrics dump lands before the verdict/exit so a leaking run
+	// still reports what the simulated layers did.
+	if *metrics {
+		fmt.Println("\n== observability metrics ==")
+		if err := obs.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ctsec: metrics: %v\n", err)
+		}
+	}
 
 	if leaks > 0 {
 		fmt.Printf("\nRESULT: %d leaking configurations\n", leaks)

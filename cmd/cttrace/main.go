@@ -10,12 +10,15 @@
 //	cttrace -probes          # include the architecturally-invisible CT probes
 //	cttrace -max 40          # cap lines per section
 //	cttrace -bialevel 2      # host the BIA at a different cache level
+//	cttrace -metrics         # append each section's layer metrics
+//	                         # (per-level cache stats, BIA, page cache)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"ctbia/internal/attacker"
 	"ctbia/internal/cpu"
@@ -35,6 +38,7 @@ func main() {
 	max := flag.Int("max", 24, "max trace lines per section (0 = unlimited)")
 	probes := flag.Bool("probes", false, "show CT probe events (invisible to attackers)")
 	biaLevel := flag.Int("bialevel", 1, "cache level hosting the BIA in the BIA sections (1=L1d, 2=L2, 3=LLC)")
+	showMetrics := flag.Bool("metrics", false, "append each section's nonzero layer metrics (cache levels, BIA, page cache)")
 	flag.Parse()
 
 	if *idx < 0 {
@@ -94,6 +98,23 @@ func main() {
 		fmt.Printf("cycles=%d insts=%d l1d-refs=%d attacker-visible-events=%d\n",
 			r.Cycles, r.Insts, r.L1DRefs, tr.Events())
 		fmt.Print(tr.Dump())
+		if *showMetrics {
+			// Pull straight from the section's machine — no registry
+			// involved, so sections stay independent.
+			var names []string
+			vals := map[string]uint64{}
+			m.EmitMetrics(func(name string, v uint64) {
+				if v != 0 {
+					names = append(names, name)
+					vals[name] = v
+				}
+			})
+			sort.Strings(names)
+			fmt.Println("metrics (nonzero):")
+			for _, n := range names {
+				fmt.Printf("  %-28s %d\n", n, vals[n])
+			}
+		}
 		fmt.Println()
 	}
 	fmt.Println("re-run with a different -idx: the protected sections' traces do not change.")

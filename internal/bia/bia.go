@@ -70,6 +70,16 @@ type Stats struct {
 	Snoops    uint64 // cache events applied to some entry
 }
 
+// Each calls emit once per counter under a stable snake_case name, the
+// enumeration the observability layer harvests BIA stats through.
+func (s Stats) Each(emit func(name string, v uint64)) {
+	emit("lookups", s.Lookups)
+	emit("hits", s.Hits)
+	emit("misses", s.Misses)
+	emit("evictions", s.Evictions)
+	emit("snoops", s.Snoops)
+}
+
 // Table is the BIA.
 type Table struct {
 	cfg     Config

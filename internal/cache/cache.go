@@ -89,6 +89,19 @@ type Stats struct {
 	Invalidates uint64 // explicit flush/invalidate operations
 }
 
+// Each calls emit once per counter under a stable snake_case name, the
+// enumeration the observability layer harvests per-level stats through.
+func (s Stats) Each(emit func(name string, v uint64)) {
+	emit("accesses", s.Accesses)
+	emit("hits", s.Hits)
+	emit("misses", s.Misses)
+	emit("fills", s.Fills)
+	emit("evictions", s.Evictions)
+	emit("writebacks", s.Writebacks)
+	emit("prefetches", s.Prefetches)
+	emit("invalidates", s.Invalidates)
+}
+
 // Cache is one set-associative level.
 type Cache struct {
 	cfg        Config

@@ -186,7 +186,8 @@ func (m *Machine) replayCTLoad(addr memp.Addr) {
 	m.retire(1)
 	m.C.CTLoads++
 	m.BIA.LookupOrInstall(addr)
-	_, cyc := m.Hier.CTProbeLoad(m.cfg.BIALevel, addr)
+	hit, cyc := m.Hier.CTProbeLoad(m.cfg.BIALevel, addr)
+	m.noteProbe(hit)
 	if m.BIA.Latency() > cyc {
 		cyc = m.BIA.Latency()
 	}
@@ -198,7 +199,8 @@ func (m *Machine) replayCTStore(addr memp.Addr) {
 	m.retire(1)
 	m.C.CTStores++
 	m.BIA.LookupOrInstall(addr)
-	_, cyc := m.Hier.CTProbeStore(m.cfg.BIALevel, addr)
+	wrote, cyc := m.Hier.CTProbeStore(m.cfg.BIALevel, addr)
+	m.noteProbe(wrote)
 	if m.BIA.Latency() > cyc {
 		cyc = m.BIA.Latency()
 	}
@@ -211,13 +213,15 @@ func (m *Machine) replayMacroStoreHdr(addr memp.Addr) {
 	m.retire(1)
 	m.C.CTStores++
 	m.BIA.LookupOrInstall(addr)
-	_, cycLd := m.Hier.CTProbeLoad(m.cfg.BIALevel, addr)
+	hitLd, cycLd := m.Hier.CTProbeLoad(m.cfg.BIALevel, addr)
+	m.noteProbe(hitLd)
 	if m.BIA.Latency() > cycLd {
 		cycLd = m.BIA.Latency()
 	}
 	m.C.Cycles += uint64(cycLd)
 	m.BIA.LookupOrInstall(addr)
-	_, cycSt := m.Hier.CTProbeStore(m.cfg.BIALevel, addr)
+	wrote, cycSt := m.Hier.CTProbeStore(m.cfg.BIALevel, addr)
+	m.noteProbe(wrote)
 	if m.BIA.Latency() > cycSt {
 		cycSt = m.BIA.Latency()
 	}

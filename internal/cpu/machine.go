@@ -129,6 +129,31 @@ type Counters struct {
 	// CTLoads and CTStores count the new micro-ops.
 	CTLoads  uint64
 	CTStores uint64
+	// CTProbeHits and CTProbeMisses count the CT probes' outcomes at
+	// the BIA's cache level (a CTStore "hit" means the line was present
+	// and dirty, so the store applied). Counted identically on direct
+	// execution and trace replay — the outcome is a pure function of
+	// cache state, which replay reproduces bit-exactly — so they can
+	// live in Counters, which the trace-equivalence tests compare whole.
+	CTProbeHits   uint64
+	CTProbeMisses uint64
+}
+
+// DSStats counts the existence/dirtiness-bitmap savings the paper's
+// Algorithms 2/3 realize: per page span, how many DS lines the bitmap
+// let the runtime skip versus the whole-DS touch a software-only
+// implementation pays. These are strategy-front-end observations — the
+// sweep code computes them while deciding what to fetch — so they are
+// not reproduced by trace replay and live outside Counters.
+type DSStats struct {
+	// LinesSkipped counts DS lines not touched thanks to set
+	// existence/dirtiness bits.
+	LinesSkipped uint64
+	// LinesTotal counts DS lines a bitmap-less implementation would
+	// have touched for the same spans.
+	LinesTotal uint64
+	// Spans counts page spans processed.
+	Spans uint64
 }
 
 // Machine is one simulated core with its memory system.
@@ -140,6 +165,11 @@ type Machine struct {
 
 	cfg Config
 	C   Counters
+
+	// DS aggregates bitmap-savings observations (see DSStats). Kept
+	// outside C because replay does not re-run the strategy front-end
+	// that produces them.
+	DS DSStats
 
 	// baseListeners is the hierarchy's listener count right after
 	// construction (the BIA subscription, if any); Reset truncates the
@@ -216,6 +246,7 @@ func New(cfg Config) *Machine {
 // which is what makes pooling machines across experiment points safe.
 func (m *Machine) Reset() {
 	m.C = Counters{}
+	m.DS = DSStats{}
 	m.rec = nil
 	m.opSlop = 0
 	m.streamParity = 0
@@ -461,8 +492,10 @@ func (m *Machine) ResetStats() {
 		m.rec.ResetStats()
 	}
 	m.C = Counters{}
+	m.DS = DSStats{}
 	m.opSlop = 0
 	m.streamParity = 0
+	m.Mem.ResetStats()
 	m.Hier.ResetStats()
 	if m.BIA != nil {
 		m.BIA.ResetStats()

@@ -45,6 +45,7 @@ func (m *Machine) MacroCTLoad(pageBase, addr memp.Addr, bitmask uint64, w Width)
 	m.C.CTLoads++
 	existence, _ := m.BIA.LookupOrInstall(addrToRead)
 	hit, cyc := m.Hier.CTProbeLoad(m.cfg.BIALevel, addrToRead)
+	m.noteProbe(hit)
 	if m.BIA.Latency() > cyc {
 		cyc = m.BIA.Latency()
 	}
@@ -53,6 +54,7 @@ func (m *Machine) MacroCTLoad(pageBase, addr memp.Addr, bitmask uint64, w Width)
 		data = m.readW(addrToRead, w)
 	}
 	tofetch := bitmask &^ existence
+	m.NoteDSSpan(bits.OnesCount64(bitmask)-bits.OnesCount64(tofetch), bits.OnesCount64(bitmask))
 	// Micro-coded fetch loop: memory traffic identical to Alg. 2
 	// lines 8-11; sequencing cost folded into the streaming model.
 	for tf := tofetch; tf != 0; tf &= tf - 1 {
@@ -84,6 +86,7 @@ func (m *Machine) MacroCTStore(pageBase, addr memp.Addr, bitmask uint64, v uint6
 	// Internal CTLoad (Alg. 3 line 7).
 	_, _ = m.BIA.LookupOrInstall(addrToWrite)
 	hitLd, cycLd := m.Hier.CTProbeLoad(m.cfg.BIALevel, addrToWrite)
+	m.noteProbe(hitLd)
 	if m.BIA.Latency() > cycLd {
 		cycLd = m.BIA.Latency()
 	}
@@ -100,6 +103,7 @@ func (m *Machine) MacroCTStore(pageBase, addr memp.Addr, bitmask uint64, v uint6
 	// Internal CTStore (Alg. 3 line 9).
 	_, dirtiness := m.BIA.LookupOrInstall(addrToWrite)
 	wrote, cycSt := m.Hier.CTProbeStore(m.cfg.BIALevel, addrToWrite)
+	m.noteProbe(wrote)
 	if m.BIA.Latency() > cycSt {
 		cycSt = m.BIA.Latency()
 	}
@@ -110,6 +114,7 @@ func (m *Machine) MacroCTStore(pageBase, addr memp.Addr, bitmask uint64, v uint6
 
 	// Micro-coded RMW loop (Alg. 3 lines 12-15).
 	tofetch := bitmask &^ dirtiness
+	m.NoteDSSpan(bits.OnesCount64(bitmask)-bits.OnesCount64(tofetch), bits.OnesCount64(bitmask))
 	for tf := tofetch; tf != 0; tf &= tf - 1 {
 		slot := uint(bits.TrailingZeros64(tf))
 		a := memp.GenAddr(pageBase, slot, addr)

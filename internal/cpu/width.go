@@ -99,6 +99,7 @@ func (m *Machine) CTLoadW(addr memp.Addr, w Width) (data uint64, existence uint6
 	m.C.CTLoads++
 	existence, _ = m.BIA.LookupOrInstall(addr)
 	hit, cyc := m.Hier.CTProbeLoad(m.cfg.BIALevel, addr)
+	m.noteProbe(hit)
 	if m.BIA.Latency() > cyc {
 		cyc = m.BIA.Latency()
 	}
@@ -122,6 +123,7 @@ func (m *Machine) CTStoreW(addr memp.Addr, v uint64, w Width) (dirtiness uint64)
 	m.C.CTStores++
 	_, dirtiness = m.BIA.LookupOrInstall(addr)
 	wrote, cyc := m.Hier.CTProbeStore(m.cfg.BIALevel, addr)
+	m.noteProbe(wrote)
 	if m.BIA.Latency() > cyc {
 		cyc = m.BIA.Latency()
 	}

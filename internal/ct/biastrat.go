@@ -88,6 +88,7 @@ func (s BIA) Load(m *cpu.Machine, ds *LinSet, addr memp.Addr, w cpu.Width) uint6
 		s.hook(HookAfterCTLoad, span.Base)
 		// Line 7: tofetch = Bitmask & ~existence.
 		tofetch := span.Mask &^ existence
+		m.NoteDSSpan(bits.OnesCount64(span.Mask)-bits.OnesCount64(tofetch), bits.OnesCount64(span.Mask))
 		s.hook(HookBeforeFetch, span.Base)
 		uncached := s.Threshold > 0 && bits.OnesCount64(tofetch) > s.Threshold
 		// Lines 8-11: fetch the lines the cache does not hold.
@@ -141,6 +142,7 @@ func (s BIA) Store(m *cpu.Machine, ds *LinSet, addr memp.Addr, v uint64, w cpu.W
 		s.hook(HookAfterCTStore, span.Base)
 		// Line 10: tofetch = Bitmask & ~dirtiness.
 		tofetch := span.Mask &^ dirtiness
+		m.NoteDSSpan(bits.OnesCount64(span.Mask)-bits.OnesCount64(tofetch), bits.OnesCount64(span.Mask))
 		s.hook(HookBeforeFetch, span.Base)
 		uncached := s.Threshold > 0 && bits.OnesCount64(tofetch) > s.Threshold
 		// Lines 12-15: read-modify-write every non-dirty DS line of
@@ -175,6 +177,7 @@ func (s BIA) LoadBlock(m *cpu.Machine, ds *LinSet, blockAddr memp.Addr, nLines i
 		_, existence := m.CTLoadW(addrToRead, cpu.W64)
 		s.hook(HookAfterCTLoad, span.Base)
 		tofetch := span.Mask &^ existence
+		m.NoteDSSpan(bits.OnesCount64(span.Mask)-bits.OnesCount64(tofetch), bits.OnesCount64(span.Mask))
 		s.hook(HookBeforeFetch, span.Base)
 		uncached := s.Threshold > 0 && bits.OnesCount64(tofetch) > s.Threshold
 		for tf := tofetch; tf != 0; tf &= tf - 1 {

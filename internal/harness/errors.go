@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"ctbia/internal/faultinject"
+	"ctbia/internal/obs"
 )
 
 // PointError describes one measurement point (or whole experiment) that
@@ -61,7 +62,10 @@ func (e *PointError) Unwrap() error { return e.Err }
 
 // toPointError converts a recovered panic value into a PointError,
 // preserving an already-typed one and capturing the stack otherwise.
+// Every recovery funnel passes through here, so it doubles as the
+// observability layer's failure counter.
 func toPointError(p any) *PointError {
+	obs.Add("harness.point_errors", 1)
 	switch v := p.(type) {
 	case *PointError:
 		if v.Stack == nil {

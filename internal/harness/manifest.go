@@ -29,6 +29,9 @@ type ManifestEntry struct {
 	WallMS float64 `json:"wall_ms"`
 	// Completed is the RFC3339 completion time.
 	Completed string `json:"completed"`
+	// Metrics is the observability delta attributed to this experiment
+	// (present only when the layer was armed for the run).
+	Metrics map[string]uint64 `json:"metrics,omitempty"`
 }
 
 // manifestData is the on-disk layout.
@@ -37,6 +40,10 @@ type manifestData struct {
 	Quick   bool                     `json:"quick"`
 	Updated string                   `json:"updated"`
 	Entries map[string]ManifestEntry `json:"entries"`
+	// Provenance stamps the run that produced (or last touched) the
+	// journal. Absent in journals from older binaries — not part of
+	// staleness (the salt already gates simulator compatibility).
+	Provenance *Provenance `json:"provenance,omitempty"`
 }
 
 // Manifest journals per-experiment completion for checkpoint-resume.
@@ -79,6 +86,17 @@ func LoadManifest(path string, quick bool) (m *Manifest, stale bool, err error) 
 		return NewManifest(path, quick), true, nil
 	}
 	return &Manifest{path: path, data: data}, false, nil
+}
+
+// SetProvenance stamps the journal with the producing run's provenance
+// (flushed with the next Record).
+func (m *Manifest) SetProvenance(p Provenance) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.data.Provenance = &p
+	m.mu.Unlock()
 }
 
 // Record journals one experiment outcome and flushes the file.

@@ -1,0 +1,193 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ctbia/internal/ct"
+	"ctbia/internal/obs"
+	"ctbia/internal/workloads"
+)
+
+// obsReset restores the global observability state; the harness tests
+// sharing the process must not see each other's (or these tests')
+// metrics. Not safe with t.Parallel.
+func obsReset() {
+	obs.Disarm()
+	obs.Reset()
+	obs.ResetProgress()
+	obs.DisableTimeline()
+	obs.ResetTimeline()
+}
+
+func firstWorkload(t *testing.T) workloads.Workload {
+	t.Helper()
+	all := workloads.All()
+	if len(all) == 0 {
+		t.Fatal("no workloads registered")
+	}
+	return all[0]
+}
+
+// TestDisarmedRunCollectsNothing pins the zero-cost contract at the
+// harness level: a disarmed run must push nothing into the registry.
+// (Pull-side sources like the trace engine report their own live
+// counters in every snapshot by design, so only pushed names count.)
+func TestDisarmedRunCollectsNothing(t *testing.T) {
+	defer obsReset()
+	obsReset()
+	w := firstWorkload(t)
+	RunWorkload(w, workloads.Params{Size: resetSize(w), Seed: 1}, ct.BIA{}, 1)
+	for name, v := range obs.Snapshot() {
+		if !strings.HasPrefix(name, "trace.") && !strings.HasPrefix(name, "resultcache.") {
+			t.Errorf("disarmed run pushed %s=%d", name, v)
+		}
+	}
+}
+
+// TestArmedRunHarvestsAllLayers runs one point armed and checks the
+// acceptance-criteria metrics appear: BIA lines skipped, per-level
+// cache stats, CT probe outcomes, page-cache and trace counters.
+func TestArmedRunHarvestsAllLayers(t *testing.T) {
+	defer obsReset()
+	obsReset()
+	defer ResetTraces()
+	ResetTraces()
+	obs.Arm()
+	w := firstWorkload(t)
+	p := workloads.Params{Size: resetSize(w), Seed: 1}
+	RunWorkload(w, p, ct.BIA{}, 1)
+	snap := obs.Snapshot()
+	for _, name := range []string{
+		"cpu.cycles", "cpu.ct_loads", "cpu.ct_probe_hits",
+		"bia.ds_lines_total", "bia.lookups",
+		"cache.L1d.accesses", "mem.page_hits",
+	} {
+		if snap[name] == 0 {
+			t.Errorf("%s = 0 after an armed BIA run, want > 0", name)
+		}
+	}
+	// Every cache level appears by name (a warm small workload may
+	// legitimately have zero outer-level accesses, so presence only).
+	for _, name := range []string{"cache.L2.accesses", "cache.LLC.accesses"} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("%s missing from armed snapshot", name)
+		}
+	}
+	if snap["bia.ds_lines_skipped"]+snap["bia.ds_lines_total"] == 0 {
+		t.Error("DS savings metrics absent")
+	}
+	// The trace source must be wired in (records the first run).
+	if snap["trace.records"] == 0 || snap["trace.bytes_recorded"] == 0 {
+		t.Errorf("trace source metrics missing: records=%d bytes=%d",
+			snap["trace.records"], snap["trace.bytes_recorded"])
+	}
+
+	// A replayed repeat harvests the same machine-side metrics again —
+	// pooled machines must start clean (the reset-leak guard end to end).
+	first := snap["cpu.cycles"]
+	RunWorkload(w, p, ct.BIA{}, 1)
+	snap2 := obs.Snapshot()
+	if snap2["cpu.cycles"] != 2*first {
+		t.Errorf("second (replayed) run harvested cpu.cycles %d, want exactly 2x the first run's %d — pooled machine leaked stats",
+			snap2["cpu.cycles"], first)
+	}
+	if snap2["trace.replays"] == 0 || snap2["trace.bytes_replayed"] == 0 {
+		t.Errorf("replay metrics missing: replays=%d bytes=%d",
+			snap2["trace.replays"], snap2["trace.bytes_replayed"])
+	}
+}
+
+// TestArmedRunDoesNotChangeResults pins output neutrality: the report
+// must be identical armed and disarmed.
+func TestArmedRunDoesNotChangeResults(t *testing.T) {
+	defer obsReset()
+	obsReset()
+	defer ResetTraces()
+	ResetTraces()
+	w := firstWorkload(t)
+	p := workloads.Params{Size: resetSize(w), Seed: 1}
+	disarmed := RunWorkload(w, p, ct.BIA{}, 1)
+	ResetTraces()
+	obs.Arm()
+	obs.EnableTimeline()
+	armed := RunWorkload(w, p, ct.BIA{}, 1)
+	if disarmed != armed {
+		t.Fatalf("observability changed the report:\ndisarmed: %v\narmed:    %v", disarmed, armed)
+	}
+	if obs.TimelineEventCount() == 0 {
+		t.Fatal("timeline collected no spans from an enabled run")
+	}
+}
+
+// TestRunAllJournalsMetricsAndProvenance checks the manifest gains the
+// per-experiment metrics delta and the run provenance.
+func TestRunAllJournalsMetricsAndProvenance(t *testing.T) {
+	defer obsReset()
+	obsReset()
+	obs.Arm()
+	dir := t.TempDir()
+	man := NewManifest(filepath.Join(dir, ManifestName), true)
+	man.SetProvenance(NewProvenance("test-flags"))
+
+	exps := Experiments()
+	if len(exps) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	var exp Experiment
+	found := false
+	for _, e := range exps {
+		if e.ID == "fig2" {
+			exp, found = e, true
+			break
+		}
+	}
+	if !found {
+		exp = exps[0]
+	}
+	results := RunAll([]Experiment{exp}, Options{Quick: true, Manifest: man})
+	if len(results) != 1 || results[0].Failed() {
+		t.Fatalf("experiment failed: %+v", results[0].Err)
+	}
+	if len(results[0].Metrics) == 0 {
+		t.Fatal("armed RunAll returned no per-experiment metrics")
+	}
+
+	buf, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data struct {
+		Entries map[string]struct {
+			Status  string            `json:"status"`
+			Metrics map[string]uint64 `json:"metrics"`
+		} `json:"entries"`
+		Provenance *Provenance `json:"provenance"`
+	}
+	if err := json.Unmarshal(buf, &data); err != nil {
+		t.Fatalf("manifest unreadable: %v", err)
+	}
+	e, ok := data.Entries[exp.ID]
+	if !ok || e.Status != "ok" {
+		t.Fatalf("manifest entry missing/failed: %+v", data.Entries)
+	}
+	if len(e.Metrics) == 0 {
+		t.Fatal("manifest entry has no metrics delta")
+	}
+	if data.Provenance == nil || data.Provenance.GoVersion == "" ||
+		data.Provenance.ConfigHash == "" || data.Provenance.Flags != "test-flags" {
+		t.Fatalf("manifest provenance wrong: %+v", data.Provenance)
+	}
+
+	// Progress accounting booked the experiment.
+	total, done, failed, _, points := obs.ProgressCounts()
+	if total != 1 || done != 1 || failed != 0 {
+		t.Fatalf("progress counts = %d/%d/%d", total, done, failed)
+	}
+	if points == 0 {
+		t.Fatal("no simulation points booked")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"ctbia/internal/ct"
 	"ctbia/internal/ctcrypto"
 	"ctbia/internal/faultinject"
+	"ctbia/internal/obs"
 	"ctbia/internal/workloads"
 )
 
@@ -107,6 +108,8 @@ func runAllStrategies(w workloads.Workload, p workloads.Params, parallel bool) s
 	var mu sync.Mutex
 	var firstErr *PointError
 	run := func(name string, fn func()) {
+		sp := obs.StartSpan("strategy", name)
+		defer sp.End()
 		defer func() {
 			if rec := recover(); rec != nil {
 				pe := toPointError(rec)
@@ -161,7 +164,14 @@ func runAllStrategies(w workloads.Workload, p workloads.Params, parallel bool) s
 func forEachIndexed(n, workers int, fn func(i int)) []*PointError {
 	var errs []*PointError // allocated on first failure only
 	var errMu sync.Mutex
-	call := func(i int) {
+	// slot identifies the executing worker for the per-worker
+	// utilization metrics (serial runs use slot 0; with a goroutine per
+	// item the item index doubles as the slot).
+	call := func(slot, i int) {
+		if obs.Enabled() {
+			start := time.Now()
+			defer func() { noteWorkerBusy(slot, time.Since(start)) }()
+		}
 		defer func() {
 			if rec := recover(); rec != nil {
 				pe := toPointError(rec)
@@ -180,7 +190,7 @@ func forEachIndexed(n, workers int, fn func(i int)) []*PointError {
 	}
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			call(i)
+			call(0, i)
 		}
 		return errs
 	}
@@ -190,7 +200,7 @@ func forEachIndexed(n, workers int, fn func(i int)) []*PointError {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				call(i)
+				call(i, i)
 			}(i)
 		}
 		wg.Wait()
@@ -199,12 +209,12 @@ func forEachIndexed(n, workers int, fn func(i int)) []*PointError {
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
-				call(i)
+				call(w, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		idx <- i
@@ -229,6 +239,11 @@ type Result struct {
 	Machines   uint64
 	Cached     bool
 	Err        *PointError
+	// Metrics attributes the observability registry's growth during
+	// this experiment to it (nil when the layer is disarmed). With
+	// concurrent experiments the windows overlap, so per-experiment
+	// attribution is approximate there; run-level totals stay exact.
+	Metrics map[string]uint64
 }
 
 // Failed reports whether the experiment failed wholly or in any point.
@@ -266,10 +281,14 @@ func RunAll(exps []Experiment, o Options) []Result {
 	if max := runtime.GOMAXPROCS(0); o.Parallel > max {
 		o.Parallel = max
 	}
+	obs.ProgressAddTotal(len(exps))
 	results := make([]Result, len(exps))
 	errs := forEachIndexed(len(exps), o.Parallel, func(i int) {
 		start := time.Now()
 		id := exps[i].ID
+		sp := obs.StartSpan("experiment", id)
+		defer sp.End()
+		obsBefore := obsSnapshot()
 		// Chaos hook: a matching worker.panic rule kills exactly this
 		// worker; the recovery in forEachIndexed turns it into a
 		// FAILED result while the other experiments finish.
@@ -279,20 +298,27 @@ func RunAll(exps []Experiment, o Options) []Result {
 			key = CacheKey(exps[i], o)
 		}
 		if o.Cache != nil {
+			lsp := obs.StartSpan("cache-lookup", id)
 			var cached Table
-			if o.Cache.Load(key, &cached) {
+			hit := o.Cache.Load(key, &cached)
+			lsp.End()
+			if hit {
 				if tableUsable(&cached, id) {
 					wall := time.Since(start)
+					metrics := obsDelta(obsBefore)
 					results[i] = Result{
 						Experiment: exps[i],
 						Table:      &cached,
 						Wall:       wall,
 						Cached:     true,
+						Metrics:    metrics,
 					}
 					o.Manifest.Record(id, ManifestEntry{
 						Status: "ok", Key: key,
-						WallMS: float64(wall.Microseconds()) / 1000,
+						WallMS:  float64(wall.Microseconds()) / 1000,
+						Metrics: metrics,
 					})
+					obs.ProgressExpDone(true, false)
 					return
 				}
 				// Decodable but unusable (garbage JSON body, wrong
@@ -304,20 +330,24 @@ func RunAll(exps []Experiment, o Options) []Result {
 		before := machineUses()
 		table := exps[i].Run(o)
 		wall := time.Since(start)
+		metrics := obsDelta(obsBefore)
 		results[i] = Result{
 			Experiment: exps[i],
 			Table:      table,
 			Wall:       wall,
 			Machines:   machineUses() - before,
+			Metrics:    metrics,
 		}
 		if table.Failed() {
 			// A table with FAILED points must never be served from
 			// the cache; journal the failure so -resume re-runs it.
 			o.Manifest.Record(id, ManifestEntry{
 				Status: "failed", Key: key,
-				Error:  firstLine(table.Failures[0].Error()),
-				WallMS: float64(wall.Microseconds()) / 1000,
+				Error:   firstLine(table.Failures[0].Error()),
+				WallMS:  float64(wall.Microseconds()) / 1000,
+				Metrics: metrics,
 			})
+			obs.ProgressExpDone(false, true)
 			return
 		}
 		if o.Cache != nil {
@@ -327,8 +357,10 @@ func RunAll(exps []Experiment, o Options) []Result {
 		}
 		o.Manifest.Record(id, ManifestEntry{
 			Status: "ok", Key: key,
-			WallMS: float64(wall.Microseconds()) / 1000,
+			WallMS:  float64(wall.Microseconds()) / 1000,
+			Metrics: metrics,
 		})
+		obs.ProgressExpDone(false, false)
 	})
 	for i, pe := range errs {
 		if pe == nil {
@@ -340,6 +372,7 @@ func RunAll(exps []Experiment, o Options) []Result {
 			Status: "failed", Key: CacheKey(exps[i], o),
 			Error: firstLine(pe.Err.Error()),
 		})
+		obs.ProgressExpDone(false, true)
 	}
 	return results
 }

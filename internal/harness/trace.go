@@ -13,6 +13,7 @@ import (
 	"ctbia/internal/ct"
 	"ctbia/internal/ctcrypto"
 	"ctbia/internal/faultinject"
+	"ctbia/internal/obs"
 	"ctbia/internal/resultcache"
 	"ctbia/internal/trace"
 	"ctbia/internal/workloads"
@@ -425,11 +426,14 @@ func verifySum(label string, got, want uint64) {
 // degraded path). On a verification panic the machine is abandoned
 // rather than pooled.
 func runDirect(pool *cpu.Pool, label string, ref func() uint64, sim func(m *cpu.Machine) uint64) cpu.Report {
+	sp := obs.StartSpan("direct", label)
 	m := pool.Get()
 	got := sim(m)
 	verifySum(label, got, ref())
 	r := m.Report()
+	harvest(m)
 	pool.Put(m)
+	sp.End()
 	return r
 }
 
@@ -460,6 +464,7 @@ func replayTrace(pool *cpu.Pool, label string, e *traceEntry, refSum uint64) (r 
 	if r != e.rep {
 		return r, false, nil
 	}
+	harvest(m)
 	pool.Put(m)
 	return r, true, nil
 }
@@ -473,7 +478,27 @@ func replayTrace(pool *cpu.Pool, label string, e *traceEntry, refSum uint64) (r 
 // interpreter) is retried through the degraded direct path after a
 // capped exponential backoff; keys that keep failing are quarantined —
 // bypassing the engine entirely — and reported via QuarantinedPoints.
+//
+// runTraced is also the observability layer's per-point anchor — every
+// simulation run, whatever engine path it takes, passes through here
+// exactly once, so this is where points are counted and their wall time
+// distributed. Disarmed, the wrapper costs three atomic loads.
 func runTraced(pool *cpu.Pool, key, label string, ref func() uint64, sim func(m *cpu.Machine) uint64) cpu.Report {
+	obs.NotePoint()
+	if !obs.Enabled() && !obs.TimelineEnabled() {
+		return runTracedEngine(pool, key, label, ref, sim)
+	}
+	sp := obs.StartSpan("point", label)
+	start := time.Now()
+	r := runTracedEngine(pool, key, label, ref, sim)
+	pointWall.Observe(uint64(time.Since(start).Microseconds()))
+	sp.End()
+	return r
+}
+
+// runTracedEngine is runTraced's engine body (see runTraced for the
+// contract).
+func runTracedEngine(pool *cpu.Pool, key, label string, ref func() uint64, sim func(m *cpu.Machine) uint64) cpu.Report {
 	mode := TraceModeNow()
 	if mode == TraceOff || key == "" {
 		if traceDebug && key == "" {
@@ -491,9 +516,12 @@ func runTraced(pool *cpu.Pool, key, label string, ref func() uint64, sim func(m 
 
 	if mode == TraceOn {
 		if e := lookupTrace(key); e != nil {
+			rsp := obs.StartSpan("replay", label)
 			r, ok, err := replayTrace(pool, label, e, ref())
+			rsp.End()
 			if ok {
 				traceReplays.Add(1)
+				traceBytesReplayed.Add(uint64(trace.WireSize(len(key), 9, len(e.ops))))
 				return r
 			}
 			// Stale or corrupt: forget it and re-record below.
@@ -518,6 +546,7 @@ func runTraced(pool *cpu.Pool, key, label string, ref func() uint64, sim func(m 
 		return runDirect(pool, label, ref, sim)
 	}
 
+	rsp := obs.StartSpan("record", label)
 	m := pool.Get()
 	rec := trace.NewRecorder(maxTraceOps)
 	// A stream that barely compresses is not worth recording: replaying
@@ -529,10 +558,12 @@ func runTraced(pool *cpu.Pool, key, label string, ref func() uint64, sim func(m 
 	m.SetRecorder(nil)
 	verifySum(label, got, ref())
 	r := m.Report()
+	harvest(m)
 	pool.Put(m)
 	if t, ok := rec.Take(); ok {
 		storeTrace(key, &traceEntry{ops: t.Ops, sum: got, rep: r})
 		traceRecords.Add(1)
+		traceBytesRecorded.Add(uint64(trace.WireSize(len(key), 9, len(t.Ops))))
 	} else {
 		if traceDebug {
 			recs, evs := rec.DebugCounts()
@@ -542,5 +573,6 @@ func runTraced(pool *cpu.Pool, key, label string, ref func() uint64, sim func(m 
 		traceEngine.dead[key] = struct{}{}
 		traceEngine.mu.Unlock()
 	}
+	rsp.End()
 	return r
 }

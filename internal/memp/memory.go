@@ -22,6 +22,14 @@ type Memory struct {
 	// harness gives every goroutine its own machine.
 	lastIdx  uint64
 	lastPage *[PageSize]byte
+
+	// PageHits and PageMisses count one-entry-cache outcomes on the
+	// translation fast path (hit = the memoized page matched; miss =
+	// fell through to the map). Plain increments — a Memory is
+	// single-owner, and the observability layer harvests these after a
+	// run, so nothing here allocates or synchronizes.
+	PageHits   uint64
+	PageMisses uint64
 }
 
 // NewMemory returns an empty memory; every byte reads as zero until
@@ -32,8 +40,10 @@ func NewMemory() *Memory {
 
 func (m *Memory) page(idx uint64, create bool) *[PageSize]byte {
 	if m.lastPage != nil && m.lastIdx == idx {
+		m.PageHits++
 		return m.lastPage
 	}
+	m.PageMisses++
 	p := m.pages[idx]
 	if p == nil && create {
 		p = new([PageSize]byte)
@@ -181,6 +191,14 @@ func (m *Memory) Reset() {
 	for _, p := range m.pages {
 		*p = [PageSize]byte{}
 	}
+	m.ResetStats()
+}
+
+// ResetStats zeroes the page-cache counters without touching contents,
+// so pooled machines never leak observation between sweep points.
+func (m *Memory) ResetStats() {
+	m.PageHits = 0
+	m.PageMisses = 0
 }
 
 // TouchedPages returns the sorted indices of pages that have been

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // side effect: /debug/pprof on DefaultServeMux
+	"sync"
+)
+
+// Serve starts the live-introspection endpoint on addr and returns the
+// bound address (useful with ":0"). The handler set is the process
+// default mux, which net/http/pprof already populates; on top of that
+// this package mounts:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/metrics.json  the same snapshot as a sorted JSON object
+//	/progress      the current sweep progress line
+//	/debug/vars    expvar, including ctbia_metrics (the live snapshot)
+//
+// The server runs until the process exits; long sweeps are the use
+// case and ctbench's lifetime is the sweep's.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mountOnce.Do(mountHandlers)
+	go func() { _ = http.Serve(ln, nil) }()
+	return ln.Addr().String(), nil
+}
+
+var mountOnce sync.Once
+
+func mountHandlers() {
+	expvar.Publish("ctbia_metrics", expvar.Func(func() any { return Snapshot() }))
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w)
+	})
+	http.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w)
+	})
+	http.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(progressLine() + "\n"))
+	})
+}

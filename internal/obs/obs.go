@@ -1,0 +1,319 @@
+// Package obs is the simulator's zero-cost-when-disabled observability
+// layer: a process-wide registry of named counters, gauges and
+// histograms, a span/timeline tracer that renders a whole ctbench run
+// as a Chrome trace-event file (openable in Perfetto), progress
+// accounting for long sweeps, and an HTTP endpoint serving expvar,
+// pprof and Prometheus text exposition.
+//
+// Like internal/faultinject, the package is armed explicitly; disarmed
+// (the default), every probe compiled into the hot layers costs a
+// single atomic load and allocates nothing — the repository's
+// alloc-budget benchmarks enforce that the access and replay paths
+// stay zero-alloc with the layer present but disarmed, and the
+// experiment tables are byte-identical either way (observation never
+// feeds back into simulation).
+//
+// The simulator's layers do not push into this package directly: the
+// machine model keeps its existing per-machine statistics and the
+// harness harvests them into the registry (cpu.Machine.EmitMetrics)
+// after each completed run, so internal/cpu and below never import
+// obs. Pull-only producers (the trace engine, the result cache)
+// register a Source instead and are read at snapshot time.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// armed gates every push-side probe. Snapshot/export always work —
+// reading a disarmed registry just sees whatever was collected while
+// armed (or nothing).
+var armed atomic.Bool
+
+// Arm enables metric collection.
+func Arm() { armed.Store(true) }
+
+// Disarm disables metric collection (the default state).
+func Disarm() { armed.Store(false) }
+
+// Enabled reports whether metric collection is armed. Hot call sites
+// with harvest work to do (building metric names, reading clocks)
+// check it first; the package's own Add/Observe probes re-check it, so
+// forgetting the guard costs allocations, never correctness.
+func Enabled() bool { return armed.Load() }
+
+// registry holds every named value. Counters dominate (harvested
+// machine statistics arrive as Add calls), so the read path is a
+// RWMutex-guarded map lookup that only takes the write lock to create
+// a counter the first time its name appears.
+var registry = struct {
+	mu       sync.RWMutex
+	counters map[string]*atomic.Uint64
+	gauges   map[string]*atomic.Uint64
+}{
+	counters: make(map[string]*atomic.Uint64),
+	gauges:   make(map[string]*atomic.Uint64),
+}
+
+func counterFor(name string) *atomic.Uint64 {
+	registry.mu.RLock()
+	c := registry.counters[name]
+	registry.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	registry.mu.Lock()
+	if c = registry.counters[name]; c == nil {
+		c = new(atomic.Uint64)
+		registry.counters[name] = c
+	}
+	registry.mu.Unlock()
+	return c
+}
+
+// Add increments the named counter by v. Disarmed it is a single
+// atomic load. The signature matches cpu.Machine.EmitMetrics's emit
+// callback, so a whole machine harvests with m.EmitMetrics(obs.Add).
+func Add(name string, v uint64) {
+	if !armed.Load() {
+		return
+	}
+	counterFor(name).Add(v)
+}
+
+// Set stores v as the named gauge (last write wins).
+func Set(name string, v uint64) {
+	if !armed.Load() {
+		return
+	}
+	registry.mu.RLock()
+	g := registry.gauges[name]
+	registry.mu.RUnlock()
+	if g == nil {
+		registry.mu.Lock()
+		if g = registry.gauges[name]; g == nil {
+			g = new(atomic.Uint64)
+			registry.gauges[name] = g
+		}
+		registry.mu.Unlock()
+	}
+	g.Store(v)
+}
+
+// Histogram counts observations in power-of-two buckets: bucket i
+// holds values v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
+// Exported as cumulative le_* counters plus count and sum, which is
+// enough resolution to see a latency distribution's shape without
+// per-observation storage.
+type Histogram struct {
+	name    string
+	buckets [65]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+var histograms = struct {
+	mu  sync.Mutex
+	all []*Histogram
+}{}
+
+// NewHistogram registers a power-of-two-bucket histogram under name.
+// Call once per name at package init; duplicate names return the
+// existing histogram.
+func NewHistogram(name string) *Histogram {
+	histograms.mu.Lock()
+	defer histograms.mu.Unlock()
+	for _, h := range histograms.all {
+		if h.name == name {
+			return h
+		}
+	}
+	h := &Histogram{name: name}
+	histograms.all = append(histograms.all, h)
+	return h
+}
+
+// Observe records one value. Disarmed it is a single atomic load.
+func (h *Histogram) Observe(v uint64) {
+	if !armed.Load() {
+		return
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Source is a pull-side metrics producer: called at snapshot time with
+// an emit callback. The trace engine and result cache register sources
+// so their internal counters appear in every export without the hot
+// paths pushing per-event.
+type Source func(emit func(name string, v uint64))
+
+var sources = struct {
+	mu  sync.Mutex
+	fns []Source
+}{}
+
+// RegisterSource adds a pull-side producer to every future snapshot.
+func RegisterSource(s Source) {
+	sources.mu.Lock()
+	sources.fns = append(sources.fns, s)
+	sources.mu.Unlock()
+}
+
+// Snapshot returns every known metric as a flat name->value map:
+// counters, gauges, histogram decompositions (name.count, name.sum,
+// name.le_<bound> cumulative buckets) and registered sources.
+func Snapshot() map[string]uint64 {
+	out := make(map[string]uint64)
+	registry.mu.RLock()
+	for name, c := range registry.counters {
+		out[name] = c.Load()
+	}
+	for name, g := range registry.gauges {
+		out[name] = g.Load()
+	}
+	registry.mu.RUnlock()
+	histograms.mu.Lock()
+	hs := append([]*Histogram(nil), histograms.all...)
+	histograms.mu.Unlock()
+	for _, h := range hs {
+		n := h.count.Load()
+		if n == 0 {
+			continue
+		}
+		out[h.name+".count"] = n
+		out[h.name+".sum"] = h.sum.Load()
+		var cum uint64
+		for i := range h.buckets {
+			b := h.buckets[i].Load()
+			if b == 0 {
+				continue
+			}
+			cum += b
+			out[fmt.Sprintf("%s.le_%d", h.name, boundOf(i))] = cum
+		}
+	}
+	sources.mu.Lock()
+	fns := append([]Source(nil), sources.fns...)
+	sources.mu.Unlock()
+	for _, fn := range fns {
+		fn(func(name string, v uint64) { out[name] = v })
+	}
+	return out
+}
+
+// boundOf maps a bits.Len64 bucket index to its exclusive upper bound.
+func boundOf(i int) uint64 {
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1) << uint(i)
+}
+
+// Delta subtracts a prior snapshot from a later one, dropping zero and
+// regressed entries — the per-experiment attribution the harness
+// journals into manifest.json. With concurrent experiments the windows
+// overlap, so per-experiment deltas are approximate there (exactly
+// like the machine-count attribution); run-level totals stay exact.
+func Delta(before, after map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64)
+	for name, v := range after {
+		if b := before[name]; v > b {
+			out[name] = v - b
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Reset zeroes every counter, gauge and histogram (sources keep their
+// own state). Benchmarks use it to separate measurement phases; tests
+// use it for isolation.
+func Reset() {
+	registry.mu.Lock()
+	for _, c := range registry.counters {
+		c.Store(0)
+	}
+	for _, g := range registry.gauges {
+		g.Store(0)
+	}
+	registry.mu.Unlock()
+	histograms.mu.Lock()
+	for _, h := range histograms.all {
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sum.Store(0)
+	}
+	histograms.mu.Unlock()
+}
+
+// sortedNames returns the snapshot's keys in deterministic order, so
+// every export is diffable run-to-run.
+func sortedNames(snap map[string]uint64) []string {
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON writes the current snapshot as a sorted JSON object.
+func WriteJSON(w io.Writer) error {
+	snap := Snapshot()
+	names := sortedNames(snap)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, n := range names {
+		key, _ := json.Marshal(n)
+		fmt.Fprintf(&b, "  %s: %d", key, snap[n])
+		if i < len(names)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName sanitizes a dotted metric name into Prometheus's
+// [a-zA-Z_][a-zA-Z0-9_]* grammar under the ctbia_ namespace.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("ctbia_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the current snapshot in Prometheus text
+// exposition format (untyped samples; names sanitized and prefixed
+// with ctbia_).
+func WritePrometheus(w io.Writer) error {
+	snap := Snapshot()
+	var b strings.Builder
+	for _, n := range sortedNames(snap) {
+		fmt.Fprintf(&b, "%s %d\n", promName(n), snap[n])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

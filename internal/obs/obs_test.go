@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// reset restores all package state between tests (the registry is
+// process-global, so tests must not run in parallel).
+func reset() {
+	Disarm()
+	Reset()
+	ResetProgress()
+	DisableTimeline()
+	ResetTimeline()
+}
+
+func TestDisarmedAddIsInvisible(t *testing.T) {
+	defer reset()
+	reset()
+	Add("x", 5)
+	if v, ok := Snapshot()["x"]; ok {
+		t.Fatalf("disarmed Add registered x=%d", v)
+	}
+}
+
+func TestArmedCountersAccumulate(t *testing.T) {
+	defer reset()
+	reset()
+	Arm()
+	Add("a.b", 2)
+	Add("a.b", 3)
+	Set("g", 7)
+	Set("g", 9)
+	snap := Snapshot()
+	if snap["a.b"] != 5 {
+		t.Fatalf("a.b = %d, want 5", snap["a.b"])
+	}
+	if snap["g"] != 9 {
+		t.Fatalf("gauge g = %d, want 9 (last write wins)", snap["g"])
+	}
+}
+
+func TestHistogramBucketsAndSnapshot(t *testing.T) {
+	defer reset()
+	reset()
+	Arm()
+	h := NewHistogram("lat")
+	if h2 := NewHistogram("lat"); h2 != h {
+		t.Fatal("NewHistogram did not dedup by name")
+	}
+	for _, v := range []uint64{1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	snap := Snapshot()
+	if snap["lat.count"] != 4 || snap["lat.sum"] != 106 {
+		t.Fatalf("count/sum = %d/%d, want 4/106", snap["lat.count"], snap["lat.sum"])
+	}
+	// 1 -> le_2; 2,3 -> le_4; 100 -> le_128; cumulative counts.
+	if snap["lat.le_2"] != 1 || snap["lat.le_4"] != 3 || snap["lat.le_128"] != 4 {
+		t.Fatalf("buckets wrong: %v", snap)
+	}
+}
+
+func TestSourcesAppearInSnapshot(t *testing.T) {
+	defer reset()
+	reset()
+	RegisterSource(func(emit func(string, uint64)) { emit("src.v", 42) })
+	if v := Snapshot()["src.v"]; v != 42 {
+		t.Fatalf("source value = %d, want 42", v)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	before := map[string]uint64{"a": 1, "b": 5, "c": 2}
+	after := map[string]uint64{"a": 4, "b": 5, "c": 1, "d": 7}
+	d := Delta(before, after)
+	want := map[string]uint64{"a": 3, "d": 7}
+	if len(d) != len(want) || d["a"] != 3 || d["d"] != 7 {
+		t.Fatalf("Delta = %v, want %v", d, want)
+	}
+	if Delta(after, after) != nil {
+		t.Fatal("identical snapshots should yield nil delta")
+	}
+}
+
+func TestResetZeroesEverything(t *testing.T) {
+	defer reset()
+	reset()
+	Arm()
+	Add("c", 3)
+	Set("g", 4)
+	NewHistogram("h").Observe(9)
+	Reset()
+	snap := Snapshot()
+	for _, k := range []string{"c", "g", "h.count", "h.sum"} {
+		if v, ok := snap[k]; ok && v != 0 {
+			t.Fatalf("after Reset, %s = %d", k, v)
+		}
+	}
+}
+
+func TestWriteJSONSortedAndParsable(t *testing.T) {
+	defer reset()
+	reset()
+	Arm()
+	Add("b.two", 2)
+	Add("a.one", 1)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]uint64
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if m["a.one"] != 1 || m["b.two"] != 2 {
+		t.Fatalf("round-trip lost values: %v", m)
+	}
+	if i, j := bytes.Index(buf.Bytes(), []byte("a.one")), bytes.Index(buf.Bytes(), []byte("b.two")); i > j {
+		t.Fatal("keys not sorted")
+	}
+}
+
+func TestWritePrometheusNames(t *testing.T) {
+	defer reset()
+	reset()
+	Arm()
+	Add("cache.L1D.hits", 12)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "ctbia_cache_L1D_hits 12\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("prometheus output missing %q:\n%s", want, buf.String())
+	}
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var name string
+		var v uint64
+		if _, err := fmt.Sscanf(sc.Text(), "%s %d", &name, &v); err != nil {
+			t.Fatalf("malformed exposition line %q", sc.Text())
+		}
+	}
+}
+
+func TestProgressCountsAndLine(t *testing.T) {
+	defer reset()
+	reset()
+	ProgressAddTotal(3)
+	ProgressExpDone(false, false)
+	ProgressExpDone(true, false)
+	ProgressExpDone(false, true)
+	Arm()
+	NotePoint()
+	NotePoint()
+	total, done, failed, cached, points := ProgressCounts()
+	if total != 3 || done != 3 || failed != 1 || cached != 1 || points != 2 {
+		t.Fatalf("counts = %d/%d/%d/%d/%d", total, done, failed, cached, points)
+	}
+	line := progressLine()
+	if !strings.Contains(line, "3/3 experiments") || !strings.Contains(line, "2 points") {
+		t.Fatalf("bad progress line %q", line)
+	}
+}
+
+func TestStartProgressPrintsFinalLine(t *testing.T) {
+	defer reset()
+	reset()
+	ProgressAddTotal(1)
+	ProgressExpDone(false, false)
+	var buf bytes.Buffer
+	stop := StartProgress(&buf, time.Hour)
+	stop()
+	stop() // idempotent
+	if !strings.Contains(buf.String(), "1/1 experiments") {
+		t.Fatalf("stop did not print a final line: %q", buf.String())
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	defer reset()
+	reset()
+	Arm()
+	Add("serve.test", 1)
+	addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "ctbia_serve_test 1") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	var m map[string]uint64
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &m); err != nil {
+		t.Fatalf("/metrics.json not valid JSON: %v", err)
+	}
+	if !strings.Contains(get("/progress"), "experiments") {
+		t.Fatal("/progress missing progress line")
+	}
+	if !strings.Contains(get("/debug/vars"), "ctbia_metrics") {
+		t.Fatal("/debug/vars missing ctbia_metrics")
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Progress accounting for long sweeps: the harness books experiments
+// as they start and finish, and StartProgress prints a periodic
+// one-line status (done/failed/cached, simulation points executed,
+// ETA) without touching any per-access hot path. The experiment-level
+// counters are plain atomics updated a handful of times per run;
+// the per-point counter is armed-gated like every other probe.
+var progress struct {
+	total   atomic.Uint64
+	done    atomic.Uint64
+	failed  atomic.Uint64
+	cached  atomic.Uint64
+	points  atomic.Uint64
+	startNS atomic.Int64
+}
+
+// ProgressAddTotal books n upcoming experiments (RunAll calls it once
+// per invocation; totals accumulate across invocations in one process).
+func ProgressAddTotal(n int) {
+	progress.total.Add(uint64(n))
+	progress.startNS.CompareAndSwap(0, time.Now().UnixNano())
+}
+
+// ProgressExpDone books one finished experiment.
+func ProgressExpDone(cached, failed bool) {
+	progress.done.Add(1)
+	if cached {
+		progress.cached.Add(1)
+	}
+	if failed {
+		progress.failed.Add(1)
+	}
+}
+
+// NotePoint books one executed simulation point (direct or replayed).
+// Disarmed it is a single atomic load.
+func NotePoint() {
+	if !armed.Load() {
+		return
+	}
+	progress.points.Add(1)
+}
+
+// ProgressCounts returns the current progress totals.
+func ProgressCounts() (total, done, failed, cached, points uint64) {
+	return progress.total.Load(), progress.done.Load(),
+		progress.failed.Load(), progress.cached.Load(), progress.points.Load()
+}
+
+// progressLine renders one status line.
+func progressLine() string {
+	total, done, failed, cached, points := ProgressCounts()
+	line := fmt.Sprintf("progress: %d/%d experiments done (%d failed, %d cached), %d points run",
+		done, total, failed, cached, points)
+	if start := progress.startNS.Load(); start != 0 && done > 0 && done < total {
+		elapsed := time.Duration(time.Now().UnixNano() - start)
+		eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+		line += fmt.Sprintf(", ~%s left", eta.Round(time.Second))
+	}
+	return line
+}
+
+// StartProgress prints a progress line to w every interval until the
+// returned stop function is called (stop prints a final line). The
+// ticker goroutine holds no locks shared with simulation, so it can
+// never perturb results.
+func StartProgress(w io.Writer, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	doneCh := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fmt.Fprintln(w, progressLine())
+			case <-doneCh:
+				fmt.Fprintln(w, progressLine())
+				return
+			}
+		}
+	}()
+	var once atomic.Bool
+	return func() {
+		if once.CompareAndSwap(false, true) {
+			close(doneCh)
+			<-finished
+		}
+	}
+}
+
+// ResetProgress zeroes the progress counters (test isolation).
+func ResetProgress() {
+	progress.total.Store(0)
+	progress.done.Store(0)
+	progress.failed.Store(0)
+	progress.cached.Store(0)
+	progress.points.Store(0)
+	progress.startNS.Store(0)
+}

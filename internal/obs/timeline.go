@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The timeline tracer records harness phases (experiment → sweep point
+// → strategy → record/replay/cache-lookup) as complete ("X") events in
+// Chrome trace-event format, so `ctbench -timeline out.json` produces
+// a file Perfetto or chrome://tracing opens directly.
+//
+// Go exposes no cheap goroutine identity, so spans are laid out on
+// lanes instead: a span takes the lowest free lane number as its
+// Chrome "tid" for its lifetime and returns it when it ends.
+// Concurrent spans therefore stack on separate rows while a serial run
+// collapses onto lane 0 — exactly the visual a trace viewer needs.
+
+// timelineOn gates span collection independently of the metric
+// registry (metrics without a -timeline file shouldn't buffer events).
+var timelineOn atomic.Bool
+
+// EnableTimeline starts collecting spans.
+func EnableTimeline() { timelineOn.Store(true) }
+
+// DisableTimeline stops collecting spans (buffered events remain until
+// ResetTimeline).
+func DisableTimeline() { timelineOn.Store(false) }
+
+// TimelineEnabled reports whether spans are being collected.
+func TimelineEnabled() bool { return timelineOn.Load() }
+
+// Span is one open timeline interval. The zero value (returned by
+// StartSpan when the timeline is disabled) is inert: End on it does
+// nothing, so call sites need no conditionals and the disabled path
+// allocates nothing.
+type Span struct {
+	start int64 // ns; 0 marks the inert zero value
+	lane  int32
+	cat   string
+	name  string
+}
+
+// event is one completed span, buffered until WriteTimeline.
+type event struct {
+	name string
+	cat  string
+	ts   int64 // ns since process start of the event
+	dur  int64 // ns
+	lane int32
+}
+
+// maxTimelineEvents bounds the buffer (~12 MB of events); a run long
+// enough to exceed it keeps its first events, which is where the
+// interesting cold-path structure lives anyway.
+const maxTimelineEvents = 1 << 18
+
+var timeline = struct {
+	mu      sync.Mutex
+	events  []event
+	free    []int32 // returned lanes, reused lowest-first
+	nextLan int32
+	dropped uint64
+}{}
+
+// acquireLane returns the lowest free lane number.
+func acquireLane() int32 {
+	timeline.mu.Lock()
+	defer timeline.mu.Unlock()
+	if n := len(timeline.free); n > 0 {
+		// free is kept sorted descending, so the lowest lane is last.
+		l := timeline.free[n-1]
+		timeline.free = timeline.free[:n-1]
+		return l
+	}
+	timeline.nextLan++
+	return timeline.nextLan - 1
+}
+
+func releaseLane(l int32) {
+	timeline.free = append(timeline.free, l)
+	// Insertion-sort descending; lane counts are tiny (≈ worker count).
+	for i := len(timeline.free) - 1; i > 0 && timeline.free[i] > timeline.free[i-1]; i-- {
+		timeline.free[i], timeline.free[i-1] = timeline.free[i-1], timeline.free[i]
+	}
+}
+
+// StartSpan opens a timeline interval under the given category and
+// name. Disabled, it returns the inert zero Span after one atomic load.
+func StartSpan(cat, name string) Span {
+	if !timelineOn.Load() {
+		return Span{}
+	}
+	return Span{start: time.Now().UnixNano(), lane: acquireLane(), cat: cat, name: name}
+}
+
+// End closes the span and buffers its event. Safe on the zero Span.
+func (s Span) End() {
+	if s.start == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	timeline.mu.Lock()
+	if len(timeline.events) < maxTimelineEvents {
+		timeline.events = append(timeline.events, event{
+			name: s.name, cat: s.cat, ts: s.start, dur: now - s.start, lane: s.lane,
+		})
+	} else {
+		timeline.dropped++
+	}
+	releaseLane(s.lane)
+	timeline.mu.Unlock()
+}
+
+// TimelineEventCount returns the number of buffered completed spans.
+func TimelineEventCount() int {
+	timeline.mu.Lock()
+	defer timeline.mu.Unlock()
+	return len(timeline.events)
+}
+
+// ResetTimeline drops all buffered events and lane state.
+func ResetTimeline() {
+	timeline.mu.Lock()
+	timeline.events = nil
+	timeline.free = nil
+	timeline.nextLan = 0
+	timeline.dropped = 0
+	timeline.mu.Unlock()
+}
+
+// traceEvent is the Chrome trace-event JSON shape (ts/dur in
+// microseconds; "X" = complete event, "M" = metadata).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int32          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object trace container Perfetto accepts.
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// WriteTimeline renders every buffered span as a Chrome trace-event
+// JSON object. Timestamps are rebased to the earliest span so the
+// viewer opens at t=0.
+func WriteTimeline(w io.Writer) error {
+	timeline.mu.Lock()
+	events := append([]event(nil), timeline.events...)
+	dropped := timeline.dropped
+	timeline.mu.Unlock()
+
+	var base int64
+	for i, e := range events {
+		if i == 0 || e.ts < base {
+			base = e.ts
+		}
+	}
+	tf := traceFile{TraceEvents: make([]traceEvent, 0, len(events)+2)}
+	tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": "ctbia"},
+	})
+	if dropped > 0 {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "dropped_events", Ph: "M", PID: 1,
+			Args: map[string]any{"dropped": dropped},
+		})
+	}
+	for _, e := range events {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: e.name, Cat: e.cat, Ph: "X",
+			TS:  float64(e.ts-base) / 1e3,
+			Dur: float64(e.dur) / 1e3,
+			PID: 1, TID: e.lane,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&tf)
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestDisabledSpanIsInert(t *testing.T) {
+	defer reset()
+	reset()
+	s := StartSpan("cat", "name")
+	s.End()
+	if n := TimelineEventCount(); n != 0 {
+		t.Fatalf("disabled span buffered %d events", n)
+	}
+}
+
+func TestSpansBufferAndRender(t *testing.T) {
+	defer reset()
+	reset()
+	EnableTimeline()
+	outer := StartSpan("experiment", "fig2")
+	inner := StartSpan("strategy", "bia@1")
+	inner.End()
+	outer.End()
+	if n := TimelineEventCount(); n != 2 {
+		t.Fatalf("buffered %d events, want 2", n)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int32   `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("timeline is not valid trace-event JSON: %v", err)
+	}
+	// 1 metadata event + 2 complete events.
+	if len(tf.TraceEvents) != 3 {
+		t.Fatalf("got %d trace events, want 3", len(tf.TraceEvents))
+	}
+	if tf.TraceEvents[0].Ph != "M" || tf.TraceEvents[0].Name != "process_name" {
+		t.Fatalf("first event should be process metadata, got %+v", tf.TraceEvents[0])
+	}
+	var sawInner, sawOuter bool
+	for _, e := range tf.TraceEvents[1:] {
+		if e.Ph != "X" {
+			t.Fatalf("span event has ph=%q, want X", e.Ph)
+		}
+		if e.TS < 0 || e.Dur < 0 {
+			t.Fatalf("negative ts/dur: %+v", e)
+		}
+		switch e.Name {
+		case "fig2":
+			sawOuter = true
+			if e.Cat != "experiment" || e.TID != 0 {
+				t.Fatalf("outer span wrong: %+v", e)
+			}
+		case "bia@1":
+			sawInner = true
+			if e.Cat != "strategy" || e.TID != 1 {
+				t.Fatalf("inner span should be on lane 1: %+v", e)
+			}
+		}
+	}
+	if !sawInner || !sawOuter {
+		t.Fatal("missing span events")
+	}
+}
+
+func TestLanesReuseLowestFree(t *testing.T) {
+	defer reset()
+	reset()
+	EnableTimeline()
+	a := StartSpan("c", "a") // lane 0
+	b := StartSpan("c", "b") // lane 1
+	a.End()                  // frees lane 0
+	c := StartSpan("c", "c") // should reuse lane 0
+	if c.lane != 0 {
+		t.Fatalf("new span got lane %d, want reused lane 0", c.lane)
+	}
+	c.End()
+	b.End()
+}
+
+func TestResetTimelineClearsBuffer(t *testing.T) {
+	defer reset()
+	reset()
+	EnableTimeline()
+	StartSpan("c", "x").End()
+	ResetTimeline()
+	if n := TimelineEventCount(); n != 0 {
+		t.Fatalf("ResetTimeline left %d events", n)
+	}
+}

@@ -364,3 +364,16 @@ func (s *Store) Stats() (hits, misses, writes uint64) {
 	}
 	return s.hits.Load(), s.misses.Load(), s.writes.Load()
 }
+
+// EmitMetrics enumerates the store's counters as flat dotted names —
+// the pull-side hook a CLI registers as an observability Source
+// (obs.RegisterSource(store.EmitMetrics)). Safe on a nil store.
+func (s *Store) EmitMetrics(emit func(name string, v uint64)) {
+	if s == nil {
+		return
+	}
+	emit("resultcache.hits", s.hits.Load())
+	emit("resultcache.misses", s.misses.Load())
+	emit("resultcache.writes", s.writes.Load())
+	emit("resultcache.quarantines", s.quarantines.Load())
+}

@@ -461,9 +461,17 @@ const (
 // ErrCorrupt reports an undecodable trace file.
 var ErrCorrupt = errors.New("trace: corrupt or truncated trace")
 
+// WireSize returns the exact encoded size of a trace with a keyLen-byte
+// key, metaLen metadata words and nOps operations — what Encode would
+// produce. The observability layer uses it to account record/replay
+// byte volume without re-encoding.
+func WireSize(keyLen, metaLen, nOps int) int {
+	return 4 + 4 + 4 + keyLen + 4 + 8*metaLen + 8 + opWireSize*nOps + 4
+}
+
 // Encode serializes a trace with its identity key and opaque metadata.
 func Encode(key string, meta []uint64, ops []Op) []byte {
-	n := 4 + 4 + 4 + len(key) + 4 + 8*len(meta) + 8 + opWireSize*len(ops) + 4
+	n := WireSize(len(key), len(meta), len(ops))
 	buf := make([]byte, 0, n)
 	buf = append(buf, traceMagic...)
 	buf = binary.LittleEndian.AppendUint32(buf, traceVersion)
