@@ -44,6 +44,19 @@ type benchSnapshot struct {
 	CacheWarmMS        float64 `json:"cache_warm_wall_ms"`
 	CacheHits          uint64  `json:"cache_warm_hits"`
 
+	// Shared-trace geometry sweep: the geosweep experiment (4 machine
+	// geometries × workloads × strategies) with the engine off, cold
+	// (one recording per shared point, every other geometry replaying
+	// it) and warm (everything replayed). The speedup is off/warm —
+	// the sweep-level win of recording once per (workload, params,
+	// strategy) instead of once per machine config.
+	GeoSweepOffMS           float64 `json:"geosweep_off_wall_ms"`
+	GeoSweepColdMS          float64 `json:"geosweep_cold_wall_ms"`
+	GeoSweepWarmMS          float64 `json:"geosweep_warm_wall_ms"`
+	SharedTraceSweepSpeedup float64 `json:"shared_trace_sweep_speedup"`
+	GeoSweepRecords         uint64  `json:"geosweep_records"`
+	GeoSweepSharedReplays   uint64  `json:"geosweep_shared_replays"`
+
 	// Machine economy over the serial run.
 	MachinesBuilt  uint64 `json:"machines_built"`
 	MachinesReused uint64 `json:"machines_reused"`
@@ -123,6 +136,31 @@ func writeBenchSnapshot(path string, selected []harness.Experiment, opts harness
 		snap.TraceReplaySpeedup = snap.SerialWallMS / snap.TraceWarmMS
 	}
 	harness.SetTraceMode(harness.TraceOff)
+
+	// Shared-trace geometry sweep, isolated to the geosweep experiment
+	// so the off/cold/warm walls measure exactly the sweep the sharing
+	// machinery targets.
+	if geo, err := harness.ByID("geosweep"); err == nil {
+		geoSel := []harness.Experiment{geo}
+		start = time.Now()
+		harness.RunAll(geoSel, serialOpts)
+		snap.GeoSweepOffMS = float64(time.Since(start).Microseconds()) / 1000
+		harness.SetTraceMode(harness.TraceOn)
+		harness.ResetTraces()
+		start = time.Now()
+		harness.RunAll(geoSel, serialOpts)
+		snap.GeoSweepColdMS = float64(time.Since(start).Microseconds()) / 1000
+		snap.GeoSweepRecords, _, _ = harness.TraceStats()
+		start = time.Now()
+		harness.RunAll(geoSel, serialOpts)
+		snap.GeoSweepWarmMS = float64(time.Since(start).Microseconds()) / 1000
+		snap.GeoSweepSharedReplays, _ = harness.TraceShareStats()
+		if snap.GeoSweepWarmMS > 0 {
+			snap.SharedTraceSweepSpeedup = snap.GeoSweepOffMS / snap.GeoSweepWarmMS
+		}
+		harness.SetTraceMode(harness.TraceOff)
+		harness.ResetTraces()
+	}
 
 	// Cold vs warm result-cache runs against a throwaway directory.
 	if dir, err := os.MkdirTemp("", "ctbia-bench-cache-*"); err == nil {

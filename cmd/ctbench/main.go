@@ -119,6 +119,11 @@ type jsonReport struct {
 	TraceMode      string  `json:"trace_mode"`
 	TraceRecords   uint64  `json:"trace_records"`
 	TraceReplays   uint64  `json:"trace_replays"`
+	// TraceSharedReplays counts replays served from a recording made
+	// under a different machine config (the sweep-level sharing win);
+	// TraceStaleFormat counts v1-format files transparently re-recorded.
+	TraceSharedReplays uint64 `json:"trace_shared_replays"`
+	TraceStaleFormat   uint64 `json:"trace_stale_format"`
 	// Provenance stamps the producing toolchain and configuration so a
 	// result file is self-describing for trajectory tooling.
 	Provenance harness.Provenance `json:"provenance"`
@@ -378,8 +383,9 @@ func main() {
 		fmt.Printf("(%s in %v%s)\n\n", r.Experiment.ID, r.Wall.Round(time.Millisecond), mark)
 	}
 	traceRecs, traceReps, _ := harness.TraceStats()
-	fmt.Printf("total: %d experiments, %d machines (%d built, %d reused), %d cache hits, %d traces recorded, %d replayed, %v wall (parallel=%d, cache=%s, trace=%s)\n",
-		len(results), built+reused, built, reused, cacheHits, traceRecs, traceReps,
+	sharedReps, _ := harness.TraceShareStats()
+	fmt.Printf("total: %d experiments, %d machines (%d built, %d reused), %d cache hits, %d traces recorded, %d replayed (%d shared across configs), %v wall (parallel=%d, cache=%s, trace=%s)\n",
+		len(results), built+reused, built, reused, cacheHits, traceRecs, traceReps, sharedReps,
 		wall.Round(time.Millisecond), workers, mode, tmode)
 
 	// Fault accounting: every run reports what it survived, and failures
@@ -390,6 +396,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ctbench: %d transient faults retried, %d points quarantined onto the direct path\n", retries, quarantined)
 		if qp := harness.QuarantinedPoints(); len(qp) > 0 {
 			fmt.Fprintf(os.Stderr, "ctbench: quarantined: %s\n", strings.Join(qp, ", "))
+		}
+	}
+	if sf := harness.TraceStaleFormatCount(); sf > 0 {
+		fmt.Fprintf(os.Stderr, "ctbench: %d stale-format trace file(s) discarded and re-recorded\n", sf)
+		if sp := harness.StaleFormatPoints(); len(sp) > 0 {
+			fmt.Fprintf(os.Stderr, "ctbench: re-recorded: %s\n", strings.Join(sp, ", "))
 		}
 	}
 	if q := store.Quarantined(); q > 0 {
@@ -421,22 +433,24 @@ func main() {
 
 	if *jsonOut != "" {
 		report := jsonReport{
-			Created:        time.Now().UTC().Format(time.RFC3339),
-			Quick:          *quick,
-			Parallel:       workers,
-			GOMAXPROCS:     runtime.GOMAXPROCS(0),
-			WallMS:         float64(wall.Microseconds()) / 1000,
-			Machines:       built + reused,
-			MachinesBuilt:  built,
-			MachinesReused: reused,
-			CacheMode:      mode.String(),
-			CacheHits:      cacheHits,
-			CacheDir:       store.Dir(),
-			TraceMode:      tmode.String(),
-			TraceRecords:   traceRecs,
-			TraceReplays:   traceReps,
-			Provenance:     harness.NewProvenance(flagLine),
-			Metrics:        obs.Snapshot(),
+			Created:            time.Now().UTC().Format(time.RFC3339),
+			Quick:              *quick,
+			Parallel:           workers,
+			GOMAXPROCS:         runtime.GOMAXPROCS(0),
+			WallMS:             float64(wall.Microseconds()) / 1000,
+			Machines:           built + reused,
+			MachinesBuilt:      built,
+			MachinesReused:     reused,
+			CacheMode:          mode.String(),
+			CacheHits:          cacheHits,
+			CacheDir:           store.Dir(),
+			TraceMode:          tmode.String(),
+			TraceRecords:       traceRecs,
+			TraceReplays:       traceReps,
+			TraceSharedReplays: sharedReps,
+			TraceStaleFormat:   harness.TraceStaleFormatCount(),
+			Provenance:         harness.NewProvenance(flagLine),
+			Metrics:            obs.Snapshot(),
 		}
 		for _, r := range results {
 			je := jsonExperiment{

@@ -100,6 +100,15 @@ type Table struct {
 	lastChunk uint64
 	lastEntry *entry
 
+	// One-entry negative memo: under batched replay the snoop stream
+	// is dominated by long runs over chunks the table does not track,
+	// each of which would otherwise pay a full way scan. A miss is only
+	// cacheable until the next install (the sole way an absent chunk
+	// can appear — evictions and snoops never add tags), so
+	// LookupOrInstall invalidates it.
+	lastMissChunk uint64
+	lastMissOK    bool
+
 	Stats Stats
 }
 
@@ -174,6 +183,9 @@ func (t *Table) find(chunkIdx uint64) *entry {
 	if e := t.lastEntry; e != nil && t.lastChunk == chunkIdx && e.valid && e.pageIdx == chunkIdx {
 		return e
 	}
+	if t.lastMissOK && t.lastMissChunk == chunkIdx {
+		return nil
+	}
 	ways := t.set(t.setOf(chunkIdx))
 	for w := range ways {
 		if ways[w].valid && ways[w].pageIdx == chunkIdx {
@@ -181,6 +193,7 @@ func (t *Table) find(chunkIdx uint64) *entry {
 			return &ways[w]
 		}
 	}
+	t.lastMissChunk, t.lastMissOK = chunkIdx, true
 	return nil
 }
 
@@ -271,6 +284,7 @@ func (t *Table) LookupOrInstall(addr memp.Addr) (exist, dirty uint64) {
 	t.clock++
 	ways[victim] = entry{valid: true, pageIdx: pageIdx, stamp: t.clock}
 	t.lastChunk, t.lastEntry = pageIdx, &ways[victim]
+	t.lastMissOK = false
 	return 0, 0
 }
 
@@ -296,6 +310,8 @@ func (t *Table) Reset() {
 	t.clock = 0
 	t.lastChunk = 0
 	t.lastEntry = nil
+	t.lastMissChunk = 0
+	t.lastMissOK = false
 	t.Stats = Stats{}
 }
 

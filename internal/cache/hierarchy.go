@@ -279,19 +279,32 @@ func (h *Hierarchy) demandAccess(start, probe int, la memp.Addr, flags Flags, cy
 	return Result{Cycles: cycles, HitLevel: 0}
 }
 
+// BatchSafe reports whether the batched access paths below reproduce
+// the per-access event stream bit-exactly for the current subscriber
+// set. The batch paths emit every hit/dirty edge a scalar access would
+// (and their miss paths delegate to demandAccess, which emits the
+// rest); the only events they skip are the per-probe EvAccess ones. A
+// BIA's kind filter excludes EvAccess, so BIA-attached machines batch;
+// attacker telemetry wants it, so instrumented replays take the scalar
+// path.
+func (h *Hierarchy) BatchSafe() bool { return !h.wants(EvAccess) }
+
 // AccessBatch performs n demand accesses at base, base+stride, ...,
 // all with the same flags, starting at L1 — semantically identical to n
 // AccessFrom(1, ...) calls, but with the L1 probe inlined and no Result
-// or event plumbing per access. The caller must guarantee that no
-// listener is subscribed and flags carry neither FlagUncached nor a
-// bypass (the cpu replay engine checks both). It returns the number of
-// accesses that hit in the L1 (the caller charges those at L1 latency
-// or streaming throughput) and the total latency of the remaining
-// accesses.
+// construction or per-access EvAccess plumbing. L1 hits still emit
+// EvHit/EvDirty when a listener snoops the L1 (the run-record snoop
+// path a BIA needs), so the batch is usable whenever BatchSafe holds;
+// the caller must also guarantee flags carry neither FlagUncached nor a
+// bypass (the cpu replay engine checks all of it). It returns the
+// number of accesses that hit in the L1 (the caller charges those at L1
+// latency or streaming throughput) and the total latency of the
+// remaining accesses.
 func (h *Hierarchy) AccessBatch(base memp.Addr, stride int64, n int, flags Flags) (l1Hits, missCycles int) {
 	c := h.levels[0]
 	write := flags&FlagWrite != 0
 	noLRU := flags&FlagNoLRU != 0
+	snoop := h.snoopsAt(1)
 	addr := base
 	for k := 0; k < n; k++ {
 		la := addr.Line()
@@ -301,12 +314,19 @@ func (h *Hierarchy) AccessBatch(base memp.Addr, stride int64, n int, flags Flags
 			c.SliceTraffic[s/c.setsPerSlc]++
 		}
 		if w := c.findIn(s, la); w >= 0 {
+			ln := &c.set(s)[w]
 			c.Stats.Hits++
 			if !noLRU {
 				c.touch(s, w)
 			}
-			if write {
-				c.set(s)[w].dirty = true
+			if snoop {
+				h.emit(Event{Level: 1, Kind: EvHit, Line: la, Set: s, Dirty: ln.dirty})
+			}
+			if write && !ln.dirty {
+				ln.dirty = true
+				if snoop {
+					h.emit(Event{Level: 1, Kind: EvDirty, Line: la, Set: s})
+				}
 			}
 			l1Hits++
 		} else {
@@ -323,10 +343,12 @@ func (h *Hierarchy) AccessBatch(base memp.Addr, stride int64, n int, flags Flags
 // flags|FlagWrite — the body of every linearized store sweep. Hit
 // accounting matches AccessBatch (the combined L1-hit count drives the
 // caller's streaming parity; its cycle sum depends only on the count,
-// not on which of the interleaved accesses hit).
+// not on which of the interleaved accesses hit), and so does the
+// snooped event stream.
 func (h *Hierarchy) AccessBatchRMW(base memp.Addr, stride int64, n int, flags Flags) (l1Hits, missCycles int) {
 	c := h.levels[0]
 	noLRU := flags&FlagNoLRU != 0
+	snoop := h.snoopsAt(1)
 	addr := base
 	for k := 0; k < n; k++ {
 		la := addr.Line()
@@ -341,6 +363,9 @@ func (h *Hierarchy) AccessBatchRMW(base memp.Addr, stride int64, n int, flags Fl
 			if !noLRU {
 				c.touch(s, w)
 			}
+			if snoop {
+				h.emit(Event{Level: 1, Kind: EvHit, Line: la, Set: s, Dirty: c.set(s)[w].dirty})
+			}
 			l1Hits++
 		} else {
 			c.Stats.Misses++
@@ -354,11 +379,20 @@ func (h *Hierarchy) AccessBatchRMW(base memp.Addr, stride int64, n int, flags Fl
 			c.SliceTraffic[s/c.setsPerSlc]++
 		}
 		if w := c.findIn(s, la); w >= 0 {
+			ln := &c.set(s)[w]
 			c.Stats.Hits++
 			if !noLRU {
 				c.touch(s, w)
 			}
-			c.set(s)[w].dirty = true
+			if snoop {
+				h.emit(Event{Level: 1, Kind: EvHit, Line: la, Set: s, Dirty: ln.dirty})
+			}
+			if !ln.dirty {
+				ln.dirty = true
+				if snoop {
+					h.emit(Event{Level: 1, Kind: EvDirty, Line: la, Set: s})
+				}
+			}
 			l1Hits++
 		} else {
 			c.Stats.Misses++

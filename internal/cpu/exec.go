@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"io"
+
 	"ctbia/internal/cache"
 	"ctbia/internal/memp"
 	"ctbia/internal/trace"
@@ -14,15 +16,16 @@ import (
 // harness's trace-equivalence tests enforce this for every workload ×
 // strategy.
 //
-// Replay has two regimes. With listeners subscribed (a BIA, attacker
-// telemetry), every access re-enters the ordinary access() path so
-// event emission is reproduced exactly. With no listeners — the
-// insecure and software-CT configurations, which dominate experiment
-// wall time — whole runs go through Hierarchy.AccessBatch: one flat
+// Replay has two regimes. With a listener that wants per-access
+// events subscribed (attacker telemetry), every access re-enters the
+// ordinary access() path so event emission is reproduced exactly.
+// Otherwise — the insecure and software-CT configurations, and since
+// the batch paths grew a run-record snoop port also BIA-attached
+// machines — whole runs go through Hierarchy.AccessBatch: one flat
 // loop, the start-level probe inlined, no Result construction, no
-// event-filter checks, and the per-iteration bookkeeping (retire,
-// load/store counts, streaming-hit cycle parity) applied in closed
-// form per run rather than per access.
+// per-access event-filter checks, and the per-iteration bookkeeping
+// (retire, load/store counts, streaming-hit cycle parity) applied in
+// closed form per run rather than per access.
 
 // SetRecorder attaches (or, with nil, detaches) a trace recorder. Every
 // stat-relevant primitive executed while attached is appended to r.
@@ -41,10 +44,10 @@ func (m *Machine) ExecTrace(ops []trace.Op) {
 	if m.rec != nil {
 		panic("cpu: ExecTrace on a machine with a recorder attached")
 	}
-	// The batched fast path is only bit-exact when nobody observes
-	// per-access events; with listeners (BIA, telemetry) every access
-	// replays through the ordinary path.
-	fast := m.Hier.ListenerCount() == 0
+	// The batched fast path is bit-exact unless someone observes
+	// per-access events: the batch paths snoop hit/dirty edges to any
+	// L1 listener (so a BIA's bitmaps stay exact) but skip EvAccess.
+	fast := m.Hier.BatchSafe()
 	for i := range ops {
 		op := &ops[i]
 		switch op.Kind {
@@ -86,6 +89,26 @@ func (m *Machine) ExecTrace(ops []trace.Op) {
 		default:
 			panic("cpu: unknown trace op kind")
 		}
+	}
+}
+
+// ExecTraceReader replays a trace streamed from a v2 on-disk file,
+// chunk by chunk: each Reader.Next block is fed straight through
+// ExecTrace, so the whole-file op slice is never materialized and the
+// resident footprint stays bounded by the reader's single chunk
+// buffer. Op records never span chunks and ExecTrace keeps no
+// cross-call state outside the machine, so chunked replay is
+// bit-identical to replaying the concatenated stream.
+func (m *Machine) ExecTraceReader(r *trace.Reader) error {
+	for {
+		ops, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		m.ExecTrace(ops)
 	}
 }
 

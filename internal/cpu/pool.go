@@ -18,6 +18,17 @@ import "sync"
 type Pool struct {
 	cfg Config
 	p   sync.Pool
+
+	// spare strongly holds one idle machine. sync.Pool's contents are
+	// released at every GC, so a sweep that revisits a configuration
+	// after enough allocation churn (a geometry sweep touching many
+	// pools, a warm replay run after a cold recording run) would
+	// rebuild its machine from scratch each round — for a Table 1
+	// machine that single build outweighs the point it simulates. One
+	// pinned spare caps the serial-path rebuild rate at zero while
+	// leaving overflow machines (parallel sweeps) collectable.
+	mu    sync.Mutex
+	spare *Machine
 }
 
 // NewPool returns a pool producing machines of the given configuration.
@@ -29,6 +40,14 @@ func (p *Pool) Config() Config { return p.cfg }
 // Get returns a cold machine: a recycled one after Reset, or a freshly
 // built one when the pool is empty.
 func (p *Pool) Get() *Machine {
+	p.mu.Lock()
+	m := p.spare
+	p.spare = nil
+	p.mu.Unlock()
+	if m != nil {
+		m.Reset()
+		return m
+	}
 	if v := p.p.Get(); v != nil {
 		m := v.(*Machine)
 		m.Reset()
@@ -42,7 +61,15 @@ func (p *Pool) Get() *Machine {
 // resets on the way out). Putting a machine while any of its state is
 // still referenced elsewhere is a data race, exactly like freeing it.
 func (p *Pool) Put(m *Machine) {
-	if m != nil {
-		p.p.Put(m)
+	if m == nil {
+		return
 	}
+	p.mu.Lock()
+	if p.spare == nil {
+		p.spare = m
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	p.p.Put(m)
 }

@@ -114,12 +114,15 @@ var smallPoolFP = func() [4]string {
 }()
 
 // runSmall is RunWorkload on the small-hierarchy machines, sharing the
-// trace engine (the config fingerprint in the key separates the two
-// machine families).
+// trace engine: BIA-family points stay disjoint from the Table 1 ones
+// via the config fingerprint in their keys, while the pure strategies
+// replay the same shared recording both machine families use (the
+// per-config report anchors keep verification separate).
 func runSmall(w workloads.Workload, p workloads.Params, s ct.Strategy, biaLevel int) cpu.Report {
 	return runTraced(smallPools[biaLevel],
 		workloadTraceKey(w, p, s, biaLevel, smallPoolFP[biaLevel]),
 		w.Name()+"/"+s.Name(),
+		smallPoolFP[biaLevel],
 		func() uint64 { return w.Reference(p) },
 		func(m *cpu.Machine) uint64 { return w.Run(m, s, p) })
 }

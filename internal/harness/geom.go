@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"fmt"
+
+	"ctbia/internal/cpu"
+	"ctbia/internal/ct"
+	"ctbia/internal/workloads"
+)
+
+// The geometry-sweep experiment: one workload/strategy point measured
+// across several machine geometries. This is the sweep shape trace
+// sharing exists for — the pure strategies' op/address streams are
+// machine-independent, so with tracing on the whole sweep performs one
+// recording per (workload, params, strategy) and replays that single
+// stream against every geometry, re-verified per config (checksum on
+// every replay, report anchors per fingerprint). The BIA rows key per
+// geometry as always, since CTLoad's bitmap reads make their streams
+// config-dependent.
+
+func init() {
+	register(Experiment{
+		ID:    "geosweep",
+		Title: "Geometry sweep: overhead stability across cache shapes (shared-trace sweep)",
+		Paper: "the Fig. 7 machine plus L1/LLC variants; one recording per (workload, params, strategy) serves every geometry",
+		Run:   runGeoSweep,
+	})
+}
+
+// GeoGeometry is one machine shape of the sweep. Config carries
+// BIALevel 0 (the pure-strategy machine); the BIA rows copy it with
+// BIALevel 1.
+type GeoGeometry struct {
+	Name   string
+	Config cpu.Config
+}
+
+// GeoSweepGeometries returns the sweep's geometry ladder: the Table 1
+// machine plus an L1-halved, an L1-doubled and an LLC-quartered
+// variant. cmd/ctbench's benchmark and the CI smoke run sweep the same
+// ladder, so the "one recording, N replays" assertion there covers
+// exactly what this experiment measures.
+func GeoSweepGeometries() []GeoGeometry {
+	table1 := cpu.DefaultConfig()
+	table1.BIALevel = 0
+	l1Half := cpu.DefaultConfig()
+	l1Half.BIALevel = 0
+	l1Half.Levels[0].Size = 32 << 10
+	l1Double := cpu.DefaultConfig()
+	l1Double.BIALevel = 0
+	l1Double.Levels[0].Size = 128 << 10
+	llcQuarter := cpu.DefaultConfig()
+	llcQuarter.BIALevel = 0
+	llcQuarter.Levels[2].Size = 4 << 20
+	return []GeoGeometry{
+		{Name: "table1", Config: table1},
+		{Name: "l1-32k", Config: l1Half},
+		{Name: "l1-128k", Config: l1Double},
+		{Name: "llc-4m", Config: llcQuarter},
+	}
+}
+
+// geoSweepWorkloads returns the sweep's workload points (sized down
+// under -quick like the other sweeps).
+func geoSweepWorkloads(quick bool) []struct {
+	w workloads.Workload
+	p workloads.Params
+} {
+	histSize, binSize := 2000, 4000
+	if quick {
+		histSize, binSize = 500, 1000
+	}
+	return []struct {
+		w workloads.Workload
+		p workloads.Params
+	}{
+		{workloads.Histogram{}, workloads.Params{Size: histSize, Seed: 1}},
+		{workloads.BinarySearch{}, workloads.Params{Size: binSize, Seed: 1}},
+	}
+}
+
+func runGeoSweep(o Options) *Table {
+	geos := GeoSweepGeometries()
+	wls := geoSweepWorkloads(o.Quick)
+	t := &Table{ID: "geosweep",
+		Title:   "execution-time overhead vs insecure baseline across machine geometries",
+		Headers: []string{"workload/geometry", "L1d BIA", "CT", "CT-avx"}}
+	n := len(geos) * len(wls)
+	rows := make([][]string, n)
+	labels := make([]string, n)
+	errs := forEachIndexed(n, o.Parallel, func(i int) {
+		g := geos[i/len(wls)]
+		wl := wls[i%len(wls)]
+		labels[i] = fmt.Sprintf("%s_%d/%s", shortName(wl.w.Name()), wl.p.Size, g.Name)
+		biaCfg := g.Config
+		biaCfg.BIALevel = 1
+		ins := RunWorkloadOn(g.Config, wl.w, wl.p, ct.Direct{})
+		bia := RunWorkloadOn(biaCfg, wl.w, wl.p, ct.BIA{})
+		lin := RunWorkloadOn(g.Config, wl.w, wl.p, ct.Linear{})
+		avx := RunWorkloadOn(g.Config, wl.w, wl.p, ct.LinearVec{})
+		rows[i] = []string{labels[i],
+			ratio(bia.Cycles, ins.Cycles),
+			ratio(lin.Cycles, ins.Cycles),
+			ratio(avx.Cycles, ins.Cycles)}
+	})
+	for i, row := range rows {
+		if errs != nil && errs[i] != nil {
+			t.Fail(labels[i], errs[i])
+			continue
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -135,7 +135,7 @@ var canonicalOrder = []string{
 	"fig7a", "fig7b", "fig7c", "fig7d", "fig7e",
 	"fig8", "fig9", "fig10",
 	"placement", "threshold", "biasize", "pinning", "llcbia",
-	"replacement", "contention", "crosscore", "relatedwork",
+	"replacement", "contention", "crosscore", "relatedwork", "geosweep",
 }
 
 func orderOf(id string) int {
@@ -182,7 +182,7 @@ func IDs() []string {
 // experiment sizes, table formatting — so stale cached tables can
 // never be served. Pure-performance changes (pooling, allocation
 // elimination) that keep tables byte-identical do NOT need a bump.
-const SimVersionSalt = "ctbia-sim-pr2-v1"
+const SimVersionSalt = "ctbia-sim-pr6-v1"
 
 // strategySet names every ct.Strategy the experiments run, part of the
 // cache identity: adding or renaming a strategy invalidates entries.

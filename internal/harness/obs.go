@@ -48,6 +48,10 @@ func emitTraceMetrics(emit func(name string, v uint64)) {
 	emit("trace.quarantined", quarantined)
 	emit("trace.bytes_recorded", traceBytesRecorded.Load())
 	emit("trace.bytes_replayed", traceBytesReplayed.Load())
+	shared, avoided := TraceShareStats()
+	emit("trace.shared_replays", shared)
+	emit("trace.bytes_shared_avoided", avoided)
+	emit("trace.stale_format", TraceStaleFormatCount())
 }
 
 // harvest pushes a machine's per-run statistics into the registry.

@@ -42,6 +42,36 @@ var tablePoolFP = func() [4]string {
 	return fps
 }()
 
+// poolReg extends the Table 1 pools to arbitrary geometries: one pool
+// per config fingerprint, built on first use. Geometry-sweep
+// experiments run every point through here so each distinct machine
+// shape is pooled exactly like the Table 1 shapes (seeded below so the
+// defaults share their pools with RunWorkload/RunKernel).
+var poolReg = struct {
+	sync.Mutex
+	pools map[string]*cpu.Pool
+}{pools: func() map[string]*cpu.Pool {
+	m := make(map[string]*cpu.Pool, len(tablePools))
+	for lvl, p := range tablePools {
+		m[tablePoolFP[lvl]] = p
+	}
+	return m
+}()}
+
+// poolFor returns the machine pool and config fingerprint for cfg,
+// creating the pool on first use.
+func poolFor(cfg cpu.Config) (*cpu.Pool, string) {
+	fp := cfg.Fingerprint()
+	poolReg.Lock()
+	p := poolReg.pools[fp]
+	if p == nil {
+		p = cpu.NewPool(cfg)
+		poolReg.pools[fp] = p
+	}
+	poolReg.Unlock()
+	return p, fp
+}
+
 // MachineFor builds a Table 1 machine with the BIA at the given level
 // (0 = no BIA, for the insecure and software-CT runs). The machine is
 // always freshly constructed — experiments that subscribe telemetry or
@@ -64,6 +94,21 @@ func RunWorkload(w workloads.Workload, p workloads.Params, s ct.Strategy, biaLev
 	return runTraced(tablePools[biaLevel],
 		workloadTraceKey(w, p, s, biaLevel, tablePoolFP[biaLevel]),
 		w.Name()+"/"+s.Name(),
+		tablePoolFP[biaLevel],
+		func() uint64 { return w.Reference(p) },
+		func(m *cpu.Machine) uint64 { return w.Run(m, s, p) })
+}
+
+// RunWorkloadOn is RunWorkload for an arbitrary machine config — the
+// entry point of the geometry-sweep experiments. Share-eligible
+// strategies (insecure, software-CT) replay one recording across every
+// config passed here; the BIA family keys per config as usual.
+func RunWorkloadOn(cfg cpu.Config, w workloads.Workload, p workloads.Params, s ct.Strategy) cpu.Report {
+	pool, fp := poolFor(cfg)
+	return runTraced(pool,
+		workloadTraceKey(w, p, s, cfg.BIALevel, fp),
+		w.Name()+"/"+s.Name(),
+		fp,
 		func() uint64 { return w.Reference(p) },
 		func(m *cpu.Machine) uint64 { return w.Run(m, s, p) })
 }
@@ -73,6 +118,18 @@ func RunKernel(k ctcrypto.Kernel, p ctcrypto.Params, s ct.Strategy, biaLevel int
 	return runTraced(tablePools[biaLevel],
 		kernelTraceKey(k, p, s, biaLevel, tablePoolFP[biaLevel]),
 		k.Name()+"/"+s.Name(),
+		tablePoolFP[biaLevel],
+		func() uint64 { return k.Reference(p) },
+		func(m *cpu.Machine) uint64 { return k.Run(m, s, p) })
+}
+
+// RunKernelOn is RunWorkloadOn for the crypto kernels.
+func RunKernelOn(cfg cpu.Config, k ctcrypto.Kernel, p ctcrypto.Params, s ct.Strategy) cpu.Report {
+	pool, fp := poolFor(cfg)
+	return runTraced(pool,
+		kernelTraceKey(k, p, s, cfg.BIALevel, fp),
+		k.Name()+"/"+s.Name(),
+		fp,
 		func() uint64 { return k.Reference(p) },
 		func(m *cpu.Machine) uint64 { return k.Run(m, s, p) })
 }

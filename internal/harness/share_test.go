@@ -1,0 +1,327 @@
+package harness
+
+import (
+	"encoding/binary"
+	"os"
+	"sync"
+	"testing"
+
+	"ctbia/internal/cpu"
+	"ctbia/internal/ct"
+	"ctbia/internal/workloads"
+)
+
+// Tests for config-independent trace sharing: one recording per
+// (workload, params, strategy) for the pure strategies, replayed
+// against every machine geometry with per-config report verification.
+
+// sharedStrategies are the share-eligible strategies: their op/address
+// streams never depend on the machine geometry.
+var sharedStrategies = []ct.Strategy{ct.Direct{}, ct.Linear{}, ct.LinearVec{}}
+
+// TestSharedKeyExcludesGeometry pins the keying rule itself: pure
+// strategies key without the machine config (so every geometry maps to
+// one recording), BIA-family strategies keep the config fingerprint.
+func TestSharedKeyExcludesGeometry(t *testing.T) {
+	w := workloads.Histogram{}
+	p := workloads.Params{Size: 500, Seed: 1}
+	geos := GeoSweepGeometries()
+	fpA, fpB := geos[0].Config.Fingerprint(), geos[1].Config.Fingerprint()
+	if fpA == fpB {
+		t.Fatal("test geometries share a fingerprint")
+	}
+	for _, s := range sharedStrategies {
+		kA := workloadTraceKey(w, p, s, 0, fpA)
+		kB := workloadTraceKey(w, p, s, 0, fpB)
+		if kA == "" || kA != kB {
+			t.Errorf("%s: shared strategy keys differ across geometries\nA: %q\nB: %q", s.Name(), kA, kB)
+		}
+	}
+	if kA, kB := workloadTraceKey(w, p, ct.BIA{}, 1, fpA), workloadTraceKey(w, p, ct.BIA{}, 1, fpB); kA == kB {
+		t.Errorf("BIA strategy key ignores the machine config: %q", kA)
+	}
+}
+
+// TestSharedTraceSweepEquivalence is the sweep-level equivalence
+// check: a multi-geometry sweep with tracing on must (a) produce
+// reports identical to direct execution for every geometry × workload
+// × strategy, and (b) perform exactly one recording per (workload,
+// params, strategy), serving every other geometry by shared replay.
+func TestSharedTraceSweepEquivalence(t *testing.T) {
+	ResetTraces()
+	t.Cleanup(func() {
+		SetTraceMode(TraceOn)
+		ResetTraces()
+	})
+	geos := GeoSweepGeometries()
+	wls := geoSweepWorkloads(true)
+
+	SetTraceMode(TraceOff)
+	var direct []cpu.Report
+	for _, g := range geos {
+		for _, wl := range wls {
+			for _, s := range sharedStrategies {
+				direct = append(direct, RunWorkloadOn(g.Config, wl.w, wl.p, s))
+			}
+		}
+	}
+	if rec, rep, _ := TraceStats(); rec != 0 || rep != 0 {
+		t.Fatalf("TraceOff sweep touched the engine: records=%d replays=%d", rec, rep)
+	}
+
+	SetTraceMode(TraceOn)
+	ResetTraces()
+	i := 0
+	for _, g := range geos {
+		for _, wl := range wls {
+			for _, s := range sharedStrategies {
+				got := RunWorkloadOn(g.Config, wl.w, wl.p, s)
+				if got != direct[i] {
+					t.Errorf("%s/%s on %s: traced sweep diverged from direct\nwant: %v\ngot:  %v",
+						wl.w.Name(), s.Name(), g.Name, direct[i], got)
+				}
+				i++
+			}
+		}
+	}
+
+	points := uint64(len(wls) * len(sharedStrategies))
+	rec, rep, rerec := TraceStats()
+	if rec != points {
+		t.Errorf("records = %d, want %d (exactly one per workload × strategy)", rec, points)
+	}
+	wantRep := points * uint64(len(geos)-1)
+	if rep != wantRep {
+		t.Errorf("replays = %d, want %d (every non-recording geometry replays)", rep, wantRep)
+	}
+	if rerec != 0 {
+		t.Errorf("rerecords = %d, want 0", rerec)
+	}
+	shared, avoided := TraceShareStats()
+	if shared != wantRep {
+		t.Errorf("shared replays = %d, want %d (every replay crossed geometries)", shared, wantRep)
+	}
+	if avoided == 0 {
+		t.Error("bytes_shared_avoided = 0 after shared replays")
+	}
+}
+
+// TestGeoSweepTableByteIdentical runs the geometry-sweep experiment
+// with the engine off, cold (record + replay) and warm (all replay)
+// and requires byte-identical rendered tables — the tentpole's
+// correctness bar.
+func TestGeoSweepTableByteIdentical(t *testing.T) {
+	ResetTraces()
+	t.Cleanup(func() {
+		SetTraceMode(TraceOn)
+		ResetTraces()
+	})
+	o := Options{Quick: true, Parallel: 1}
+	SetTraceMode(TraceOff)
+	off := runGeoSweep(o).Render()
+	SetTraceMode(TraceOn)
+	ResetTraces()
+	cold := runGeoSweep(o).Render()
+	warm := runGeoSweep(o).Render()
+	if cold != off {
+		t.Errorf("cold traced table diverged from trace-off\noff:\n%s\ncold:\n%s", off, cold)
+	}
+	if warm != off {
+		t.Errorf("warm traced table diverged from trace-off\noff:\n%s\nwarm:\n%s", off, warm)
+	}
+	if rec, rep, _ := TraceStats(); rec == 0 || rep == 0 {
+		t.Errorf("traced sweep did not exercise both paths: records=%d replays=%d", rec, rep)
+	}
+}
+
+// TestSingleFlightRecording pins the concurrency contract: workers
+// racing on one shared point must produce exactly one recording, with
+// every other worker served by replay.
+func TestSingleFlightRecording(t *testing.T) {
+	ResetTraces()
+	t.Cleanup(ResetTraces)
+	w := workloads.Histogram{}
+	p := workloads.Params{Size: 700, Seed: 3}
+	const workers = 8
+	var wg sync.WaitGroup
+	reports := make([]cpu.Report, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i] = RunWorkload(w, p, ct.Linear{}, 0)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if reports[i] != reports[0] {
+			t.Fatalf("worker %d diverged: %v vs %v", i, reports[i], reports[0])
+		}
+	}
+	rec, rep, _ := TraceStats()
+	if rec != 1 {
+		t.Errorf("records = %d, want 1 (single-flight)", rec)
+	}
+	if rep != workers-1 {
+		t.Errorf("replays = %d, want %d", rep, workers-1)
+	}
+}
+
+// TestSharedAnchorPersists checks per-config report verification
+// across processes: the first replay under a new geometry anchors its
+// report and the anchor is re-persisted, so a fresh engine loads both
+// configs' anchors from disk.
+func TestSharedAnchorPersists(t *testing.T) {
+	dir := t.TempDir()
+	if err := SetTraceDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		SetTraceDir("")
+		ResetTraces()
+	})
+	ResetTraces()
+
+	w := workloads.Histogram{}
+	p := workloads.Params{Size: 400, Seed: 13}
+	s := ct.Linear{}
+	geos := GeoSweepGeometries()
+	cfgA, cfgB := geos[0].Config, geos[1].Config
+	key := workloadTraceKey(w, p, s, 0, cfgA.Fingerprint())
+
+	RunWorkloadOn(cfgA, w, p, s) // records, anchored under cfgA
+	wantB := RunWorkloadOn(cfgB, w, p, s)
+	if shared, _ := TraceShareStats(); shared != 1 {
+		t.Fatalf("shared replays = %d, want 1", shared)
+	}
+
+	// Fresh engine: the disk entry must carry both anchors and cfgB
+	// must verify against its persisted anchor, not re-anchor blind.
+	ResetTraces()
+	if got := RunWorkloadOn(cfgB, w, p, s); got != wantB {
+		t.Errorf("disk replay under cfgB diverged\nwant: %v\ngot:  %v", wantB, got)
+	}
+	if rec, rep, _ := TraceStats(); rec != 0 || rep != 1 {
+		t.Errorf("disk-served run: records=%d replays=%d, want 0/1", rec, rep)
+	}
+	traceEngine.mu.RLock()
+	e := traceEngine.entries[key]
+	var anchors int
+	if e != nil {
+		anchors = len(e.reps)
+	}
+	traceEngine.mu.RUnlock()
+	if e == nil || anchors < 2 {
+		t.Errorf("disk entry carries %d report anchors, want >= 2 (both geometries)", anchors)
+	}
+}
+
+// TestStaleFormatTraceRerecords plants a pre-v2 trace file and checks
+// the harness journals it, removes it, and transparently re-records
+// into the current format.
+func TestStaleFormatTraceRerecords(t *testing.T) {
+	dir := t.TempDir()
+	if err := SetTraceDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		SetTraceDir("")
+		ResetTraces()
+	})
+	ResetTraces()
+
+	w := workloads.Histogram{}
+	p := workloads.Params{Size: 400, Seed: 9}
+	s := ct.Linear{}
+	key := workloadTraceKey(w, p, s, 0, tablePoolFP[0])
+
+	v1 := append([]byte("CTRT"), make([]byte, 8)...)
+	binary.LittleEndian.PutUint32(v1[4:], 1) // version 1
+	path := traceFilePath(dir, key)
+	if err := os.WriteFile(path, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	want := RunWorkload(w, p, s, 0)
+	if n := TraceStaleFormatCount(); n != 1 {
+		t.Errorf("stale-format count = %d, want 1", n)
+	}
+	if pts := StaleFormatPoints(); len(pts) != 1 {
+		t.Errorf("StaleFormatPoints = %v, want one entry", pts)
+	}
+	if rec, _, _ := TraceStats(); rec != 1 {
+		t.Errorf("records = %d, want 1 (transparent re-record)", rec)
+	}
+
+	// The re-recorded file is v2 and must replay in a fresh engine.
+	ResetTraces()
+	if got := RunWorkload(w, p, s, 0); got != want {
+		t.Errorf("replay after format migration diverged\nwant: %v\ngot:  %v", want, got)
+	}
+	if rec, rep, _ := TraceStats(); rec != 0 || rep != 1 {
+		t.Errorf("post-migration run: records=%d replays=%d, want 0/1", rec, rep)
+	}
+}
+
+// TestStreamingDiskReplay forces the streaming reader path (threshold
+// lowered to one byte) and checks a disk entry replays without
+// materializing, that the stub survives re-use, and that mid-stream
+// corruption decays to a re-record, never a wrong report.
+func TestStreamingDiskReplay(t *testing.T) {
+	dir := t.TempDir()
+	if err := SetTraceDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	old := maxInlineTraceBytes
+	t.Cleanup(func() {
+		maxInlineTraceBytes = old
+		SetTraceDir("")
+		ResetTraces()
+	})
+	ResetTraces()
+
+	w := workloads.BinarySearch{}
+	p := workloads.Params{Size: 800, Seed: 11, Ops: 8}
+	s := ct.Linear{}
+	key := workloadTraceKey(w, p, s, 0, tablePoolFP[0])
+	path := traceFilePath(dir, key)
+
+	want := RunWorkload(w, p, s, 0)
+
+	maxInlineTraceBytes = 1
+	ResetTraces()
+	if got := RunWorkload(w, p, s, 0); got != want {
+		t.Errorf("streaming replay diverged\nwant: %v\ngot:  %v", want, got)
+	}
+	if rec, rep, _ := TraceStats(); rec != 0 || rep != 1 {
+		t.Errorf("streaming run: records=%d replays=%d, want 0/1", rec, rep)
+	}
+	traceEngine.mu.RLock()
+	e := traceEngine.entries[key]
+	traceEngine.mu.RUnlock()
+	if e == nil || e.ops != nil || e.file == "" {
+		t.Fatalf("expected a streaming stub entry (no ops, file set), got %+v", e)
+	}
+	// The stub replays again without re-reading the header.
+	if got := RunWorkload(w, p, s, 0); got != want {
+		t.Errorf("second streaming replay diverged\nwant: %v\ngot:  %v", want, got)
+	}
+
+	// Mid-stream corruption: the chunk CRC must catch it and the point
+	// re-record rather than leak a wrong report.
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-5] ^= 0x20
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ResetTraces()
+	if got := RunWorkload(w, p, s, 0); got != want {
+		t.Errorf("run after mid-stream corruption diverged\nwant: %v\ngot:  %v", want, got)
+	}
+	if rec, _, rerec := TraceStats(); rec != 1 || rerec != 1 {
+		t.Errorf("corrupted stream: records=%d rerecords=%d, want 1/1", rec, rerec)
+	}
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -20,22 +21,37 @@ import (
 )
 
 // The trace-replay engine behind RunWorkload/RunKernel: the first
-// execution of a (workload, params, strategy, machine config) point
-// records the machine's operation stream; repeats replay the stream
-// through the batched interpreter instead of re-running the workload
-// front end. Sweep experiments re-run many identical points (Fig. 7
-// shares sizes with Fig. 2/8, the ablations revisit the motivation
-// points), so a full `ctbench -exp all` replays a large fraction of its
-// simulated work.
+// execution of a point records the machine's operation stream; repeats
+// replay the stream through the batched interpreter instead of
+// re-running the workload front end.
+//
+// Keying is the whole trick. For the pure strategies (insecure,
+// software-CT, its vector variant) the dynamic op/address stream is a
+// function of (workload, params, strategy) alone — the machine
+// geometry only changes how the stream is *charged*, never what the
+// stream *is* — so those recordings are keyed without the machine
+// config and one recording serves every geometry of a sweep. The
+// BIA-family strategies read the BIA's existence/dirtiness bitmaps
+// through CTLoad, which makes their streams geometry-dependent, so
+// their keys keep the full config fingerprint exactly as before.
 //
 // Replay is trusted only as far as it can be re-verified cheaply: a
-// stored trace carries the workload checksum and the expected report,
-// the checksum is recomputed from the pure-Go reference on every
-// replay, and the replayed report must equal the stored one. Any
-// mismatch — a stale disk file, a corrupted entry, behaviour drift —
-// silently falls back to recording fresh. Strategies whose behaviour is
-// not a pure function of their value (interference hooks, the stateful
-// scratchpad strategy) are never traced.
+// stored trace carries the workload checksum (config-independent,
+// recomputed from the pure-Go reference on every replay) and one
+// expected report *per machine config* that has replayed it — the
+// first replay under a new geometry anchors its report, repeats must
+// reproduce it bit-exactly. Any mismatch — a stale disk file, a
+// corrupted entry, behaviour drift — silently falls back to recording
+// fresh. Strategies whose behaviour is not a pure function of their
+// value (interference hooks, the stateful scratchpad strategy) are
+// never traced.
+//
+// On-disk traces past maxInlineTraceBytes are not materialized:
+// lookup validates the v2 header only and replay streams the chunked
+// op blocks straight into the interpreter, so resident memory stays
+// bounded by one chunk buffer however large the corpus grows. Files
+// in the pre-v2 wire format are journalled (StaleFormatPoints),
+// removed, and transparently re-recorded.
 
 // TraceMode selects how RunWorkload/RunKernel use the trace engine.
 type TraceMode int
@@ -78,10 +94,21 @@ func (m TraceMode) String() string {
 }
 
 // traceEntry is one stored stream with its verification anchors.
+// Exactly one of ops/file is set: small traces are materialized,
+// larger ones stay on disk and replay through the streaming reader.
+// reps is guarded by traceEngine.mu (entries are shared across
+// workers); every other field is immutable after construction.
 type traceEntry struct {
-	ops []trace.Op
-	sum uint64     // workload checksum the recording run produced
-	rep cpu.Report // report the recording run produced
+	ops  []trace.Op
+	file string // streaming entry: path of the validated v2 file
+	nops int    // op count (header-sourced for streaming entries)
+	sum  uint64 // workload checksum the recording run produced
+	src  string // config fingerprint of the recording machine
+	// reps anchors the expected report per machine-config fingerprint.
+	// The recording run seeds its own config; the first replay under
+	// any other geometry anchors that geometry's report and repeats
+	// must reproduce it.
+	reps map[string]cpu.Report
 }
 
 // maxTraceOps caps one trace's compressed records (~40 MB). A stream
@@ -93,6 +120,13 @@ const maxTraceOps = 1 << 20
 // maxTraceOpsTotal caps the in-memory store across all entries; beyond
 // it new traces are simply not stored.
 const maxTraceOpsTotal = 8 << 20
+
+// maxInlineTraceBytes is the materialization threshold: on-disk traces
+// up to this size decode whole (and stay memoized as op slices);
+// larger ones replay via the streaming reader with only the single
+// chunk buffer resident. A variable so tests can force the streaming
+// path without recording gigabytes.
+var maxInlineTraceBytes int64 = 10 << 20
 
 // traceDebug (env CTBIA_TRACE_DEBUG) logs, per run, why a point did not
 // replay: untraceable (impure strategy), dead (recording aborted — with
@@ -108,6 +142,12 @@ var traceEngine = struct {
 	dir     string // "" = no persistence
 	entries map[string]*traceEntry
 	ops     int64 // total records held across entries
+	// inflight single-flights recordings: the first worker to miss a
+	// key becomes its recording leader, later workers block on the
+	// channel and re-try the lookup when it closes. Without this a
+	// parallel sweep's geometries would all record the same shared
+	// stream concurrently — the exact duplication sharing removes.
+	inflight map[string]chan struct{}
 	// dead remembers keys whose recording aborted (stream past
 	// maxTraceOps), so repeats run direct instead of paying the
 	// doomed recording again.
@@ -118,11 +158,17 @@ var traceEngine = struct {
 	// bad point can never loop through retries.
 	transients  map[string]int
 	quarantined map[string]string // key -> point label, for reporting
+	// staleFormat journals keys whose persisted file carried a pre-v2
+	// wire format: the file is removed, the point transparently
+	// re-records, and the journal surfaces what happened.
+	staleFormat map[string]string // key -> point label
 }{
 	entries:     make(map[string]*traceEntry),
+	inflight:    make(map[string]chan struct{}),
 	dead:        make(map[string]struct{}),
 	transients:  make(map[string]int),
 	quarantined: make(map[string]string),
+	staleFormat: make(map[string]string),
 }
 
 var (
@@ -130,6 +176,14 @@ var (
 	traceReplays   atomic.Uint64
 	traceRerecords atomic.Uint64
 	traceRetries   atomic.Uint64
+	// traceSharedReplays counts replays served by a recording made
+	// under a *different* machine config — the sweep-sharing wins.
+	traceSharedReplays atomic.Uint64
+	// traceBytesSharedAvoided accounts the wire bytes of those shared
+	// replays: recording volume a geometry sweep did not re-produce.
+	traceBytesSharedAvoided atomic.Uint64
+	// traceStaleFormatCount counts pre-v2 files found (and removed).
+	traceStaleFormatCount atomic.Uint64
 )
 
 // Retry policy for transient trace-layer failures: capped exponential
@@ -179,14 +233,19 @@ func ResetTraces() {
 	traceEngine.mu.Lock()
 	traceEngine.entries = make(map[string]*traceEntry)
 	traceEngine.ops = 0
+	traceEngine.inflight = make(map[string]chan struct{})
 	traceEngine.dead = make(map[string]struct{})
 	traceEngine.transients = make(map[string]int)
 	traceEngine.quarantined = make(map[string]string)
+	traceEngine.staleFormat = make(map[string]string)
 	traceEngine.mu.Unlock()
 	traceRecords.Store(0)
 	traceReplays.Store(0)
 	traceRerecords.Store(0)
 	traceRetries.Store(0)
+	traceSharedReplays.Store(0)
+	traceBytesSharedAvoided.Store(0)
+	traceStaleFormatCount.Store(0)
 }
 
 // TraceStats returns the engine's counters since the last ResetTraces:
@@ -194,6 +253,13 @@ func ResetTraces() {
 // that were silently re-recorded.
 func TraceStats() (records, replays, rerecords uint64) {
 	return traceRecords.Load(), traceReplays.Load(), traceRerecords.Load()
+}
+
+// TraceShareStats returns the sweep-sharing counters since the last
+// ResetTraces: replays served by a recording made under a different
+// machine config, and the recording wire bytes those replays avoided.
+func TraceShareStats() (sharedReplays, bytesAvoided uint64) {
+	return traceSharedReplays.Load(), traceBytesSharedAvoided.Load()
 }
 
 // TraceFaultStats returns the fault-tolerance counters since the last
@@ -219,11 +285,38 @@ func QuarantinedPoints() []string {
 	return out
 }
 
+// StaleFormatPoints lists the labels of points whose persisted trace
+// carried a pre-v2 wire format (sorted). Each such file was removed
+// and its point transparently re-recorded; the journal exists so a
+// migration is visible, not silent.
+func StaleFormatPoints() []string {
+	traceEngine.mu.RLock()
+	out := make([]string, 0, len(traceEngine.staleFormat))
+	for _, label := range traceEngine.staleFormat {
+		out = append(out, label)
+	}
+	traceEngine.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// TraceStaleFormatCount returns how many pre-v2 trace files were found
+// (and removed) since the last ResetTraces.
+func TraceStaleFormatCount() uint64 { return traceStaleFormatCount.Load() }
+
 // isQuarantined reports whether the key's trace engine access is
 // disabled after repeated transient failures.
 func isQuarantined(key string) bool {
 	traceEngine.mu.RLock()
 	_, ok := traceEngine.quarantined[key]
+	traceEngine.mu.RUnlock()
+	return ok
+}
+
+// isDead reports whether the key's recording previously aborted.
+func isDead(key string) bool {
+	traceEngine.mu.RLock()
+	_, ok := traceEngine.dead[key]
 	traceEngine.mu.RUnlock()
 	return ok
 }
@@ -252,40 +345,66 @@ func noteTransient(key, label string, err error) {
 	}
 }
 
+// noteStaleFormat journals a pre-v2 trace file and removes it so the
+// point re-records into the current format instead of failing every
+// lookup.
+func noteStaleFormat(key, label, path string) {
+	traceStaleFormatCount.Add(1)
+	traceEngine.mu.Lock()
+	traceEngine.staleFormat[key] = label
+	traceEngine.mu.Unlock()
+	os.Remove(path)
+	if traceDebug {
+		fmt.Fprintf(os.Stderr, "TRACEDBG staleformat %s (%s)\n", label, path)
+	}
+}
+
 // strategyFingerprint returns a string capturing everything about s
-// that can influence a run, and whether the strategy is traceable at
-// all. Only pure-value strategies qualify: an interference Hook makes
-// behaviour call-site dependent, and the scratchpad strategy carries
-// mutable state across calls.
-func strategyFingerprint(s ct.Strategy) (string, bool) {
+// that can influence a run, whether the recorded stream is independent
+// of the machine geometry (share-eligible), and whether the strategy
+// is traceable at all. Only pure-value strategies qualify at all: an
+// interference Hook makes behaviour call-site dependent, and the
+// scratchpad strategy carries mutable state across calls. Of those,
+// the insecure and software-CT strategies never read cache or BIA
+// state, so their op/address streams depend only on (workload, params,
+// strategy); the BIA family consumes CTLoad's existence/dirtiness
+// bitmaps, whose contents are a function of the geometry.
+func strategyFingerprint(s ct.Strategy) (fp string, shared, ok bool) {
 	switch v := s.(type) {
 	case ct.Direct:
-		return "insecure", true
+		return "insecure", true, true
 	case ct.Linear:
-		return "ct", true
+		return "ct", true, true
 	case ct.LinearVec:
-		return "ct-avx", true
+		return "ct-avx", true, true
 	case ct.BIAMacro:
-		return "bia-macro", true
+		return "bia-macro", false, true
 	case ct.Preload:
 		if v.Hook == nil {
-			return "preload", true
+			return "preload", false, true
 		}
 	case ct.BIA:
 		if v.Hook == nil {
-			return fmt.Sprintf("bia/t=%d", v.Threshold), true
+			return fmt.Sprintf("bia/t=%d", v.Threshold), false, true
 		}
 	}
-	return "", false
+	return "", false, false
 }
 
 // workloadTraceKey is the identity of one RunWorkload point: simulator
-// salt, workload, exact params, strategy fingerprint, BIA placement and
-// machine-config fingerprint. Empty means untraceable.
+// salt, workload, exact params and strategy fingerprint — plus, for
+// the geometry-dependent strategies only, the BIA placement and
+// machine-config fingerprint. Share-eligible strategies get a
+// config-free key (marked "shared"), which is what lets one recording
+// serve every geometry of a sweep. Empty means untraceable.
 func workloadTraceKey(w workloads.Workload, p workloads.Params, s ct.Strategy, biaLevel int, poolFP string) string {
-	fp, ok := strategyFingerprint(s)
+	fp, shared, ok := strategyFingerprint(s)
 	if !ok {
 		return ""
+	}
+	if shared {
+		return fmt.Sprintf("%s\x1fw:%s\x1f%d/%d/%d\x1f%s\x1fshared",
+			SimVersionSalt, w.Name(), p.Size, p.Seed, p.Ops, fp)
 	}
 	return fmt.Sprintf("%s\x1fw:%s\x1f%d/%d/%d\x1f%s\x1f%d\x1f%s",
 		SimVersionSalt, w.Name(), p.Size, p.Seed, p.Ops, fp, biaLevel, poolFP)
@@ -293,9 +412,13 @@ func workloadTraceKey(w workloads.Workload, p workloads.Params, s ct.Strategy, b
 
 // kernelTraceKey is workloadTraceKey for the crypto kernels.
 func kernelTraceKey(k ctcrypto.Kernel, p ctcrypto.Params, s ct.Strategy, biaLevel int, poolFP string) string {
-	fp, ok := strategyFingerprint(s)
+	fp, shared, ok := strategyFingerprint(s)
 	if !ok {
 		return ""
+	}
+	if shared {
+		return fmt.Sprintf("%s\x1fk:%s\x1f%d/%d\x1f%s\x1fshared",
+			SimVersionSalt, k.Name(), p.Blocks, p.Seed, fp)
 	}
 	return fmt.Sprintf("%s\x1fk:%s\x1f%d/%d\x1f%s\x1f%d\x1f%s",
 		SimVersionSalt, k.Name(), p.Blocks, p.Seed, fp, biaLevel, poolFP)
@@ -308,10 +431,25 @@ func traceFilePath(dir, key string) string {
 	return filepath.Join(dir, resultcache.Key(key)+".trace")
 }
 
+// repsFromTags rebuilds the per-config report anchors from a trace
+// file's header tags; malformed tags are dropped (the replay then
+// re-anchors).
+func repsFromTags(tags map[string][]uint64) map[string]cpu.Report {
+	reps := make(map[string]cpu.Report, len(tags))
+	for fp, words := range tags {
+		if len(words) == 8 {
+			reps[fp] = unpackReport(words)
+		}
+	}
+	return reps
+}
+
 // lookupTrace finds a stored stream in memory, falling back to the
 // persistent directory. Disk entries are validated (CRC, embedded key)
-// and memoized; anything unreadable is a miss.
-func lookupTrace(key string) *traceEntry {
+// and memoized; anything unreadable is a miss, except pre-v2 files,
+// which are journalled and removed. Files past maxInlineTraceBytes
+// validate their header only and become streaming entries.
+func lookupTrace(key, label string) *traceEntry {
 	traceEngine.mu.RLock()
 	e := traceEngine.entries[key]
 	dir := traceEngine.dir
@@ -322,24 +460,60 @@ func lookupTrace(key string) *traceEntry {
 	if faultinject.Should("trace.read", key) {
 		return nil // injected read failure: a persisted trace is just a miss
 	}
-	buf, err := os.ReadFile(traceFilePath(dir, key))
+	path := traceFilePath(dir, key)
+	fi, err := os.Stat(path)
 	if err != nil {
 		return nil
 	}
-	// Injected on-disk corruption: flipped bytes must fail the CRC (or
-	// the embedded-key check) below and decay to a miss + re-record.
-	buf = faultinject.Corrupt("trace.corrupt", key, buf)
-	fkey, meta, ops, err := trace.Decode(buf)
-	if err != nil || fkey != key || len(meta) != 9 {
+	if fi.Size() <= maxInlineTraceBytes {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil
+		}
+		// Injected on-disk corruption: flipped bytes must fail a CRC (or
+		// the embedded-key check) below and decay to a miss + re-record.
+		buf = faultinject.Corrupt("trace.corrupt", key, buf)
+		fkey, src, meta, tags, ops, err := trace.Decode(buf)
+		if err != nil {
+			if errors.Is(err, trace.ErrVersion) {
+				noteStaleFormat(key, label, path)
+			}
+			return nil
+		}
+		if fkey != key || len(meta) != 1 {
+			return nil
+		}
+		e = &traceEntry{ops: ops, nops: len(ops), sum: meta[0], src: src, reps: repsFromTags(tags)}
+		memoTrace(key, e)
+		return e
+	}
+	// Streaming entry: validate the v2 header (magic, version, CRC,
+	// embedded key) without touching the chunks; replay re-opens the
+	// file and feeds it through the chunked reader, so the op slice is
+	// never materialized.
+	f, err := os.Open(path)
+	if err != nil {
 		return nil
 	}
-	e = &traceEntry{ops: ops, sum: meta[0], rep: unpackReport(meta[1:])}
+	rd, err := trace.NewReader(f)
+	f.Close()
+	if err != nil {
+		if errors.Is(err, trace.ErrVersion) {
+			noteStaleFormat(key, label, path)
+		}
+		return nil
+	}
+	if rd.Key() != key || len(rd.Meta()) != 1 {
+		return nil
+	}
+	e = &traceEntry{file: path, nops: rd.NumOps(), sum: rd.Meta()[0], src: rd.Src(), reps: repsFromTags(rd.Tags())}
 	memoTrace(key, e)
 	return e
 }
 
 // memoTrace inserts an entry into the in-memory store, respecting the
-// global budget (over budget the entry is simply not kept).
+// global budget (over budget the entry is simply not kept; streaming
+// entries hold no ops and always fit).
 func memoTrace(key string, e *traceEntry) {
 	traceEngine.mu.Lock()
 	if old, ok := traceEngine.entries[key]; ok {
@@ -353,23 +527,20 @@ func memoTrace(key string, e *traceEntry) {
 	traceEngine.mu.Unlock()
 }
 
-// storeTrace memoizes a freshly recorded entry and persists it if a
-// trace directory is configured (best-effort, temp file + rename).
-func storeTrace(key string, e *traceEntry) {
-	memoTrace(key, e)
-	traceEngine.mu.RLock()
-	dir := traceEngine.dir
-	traceEngine.mu.RUnlock()
-	if dir == "" {
-		return
-	}
+// persistTrace writes a materialized entry to its key's file
+// (best-effort, temp file + rename). The report anchors are
+// snapshotted under the engine lock; ops/sum/src are immutable.
+func persistTrace(dir, key string, e *traceEntry) {
 	if faultinject.Should("trace.write", key) {
 		return // injected write failure: persistence is best-effort anyway
 	}
-	meta := make([]uint64, 0, 9)
-	meta = append(meta, e.sum)
-	meta = append(meta, packReport(e.rep)...)
-	buf := trace.Encode(key, meta, e.ops)
+	traceEngine.mu.RLock()
+	tags := make(map[string][]uint64, len(e.reps))
+	for fp, rep := range e.reps {
+		tags[fp] = packReport(rep)
+	}
+	traceEngine.mu.RUnlock()
+	buf := trace.Encode(key, e.src, []uint64{e.sum}, tags, e.ops)
 	tmp, err := os.CreateTemp(dir, "tmp-*")
 	if err != nil {
 		return
@@ -378,6 +549,18 @@ func storeTrace(key string, e *traceEntry) {
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil || os.Rename(tmp.Name(), traceFilePath(dir, key)) != nil {
 		os.Remove(tmp.Name())
+	}
+}
+
+// storeTrace memoizes a freshly recorded entry and persists it if a
+// trace directory is configured.
+func storeTrace(key string, e *traceEntry) {
+	memoTrace(key, e)
+	traceEngine.mu.RLock()
+	dir := traceEngine.dir
+	traceEngine.mu.RUnlock()
+	if dir != "" {
+		persistTrace(dir, key, e)
 	}
 }
 
@@ -394,6 +577,19 @@ func dropTrace(key string) {
 	if dir != "" {
 		os.Remove(traceFilePath(dir, key))
 	}
+}
+
+// entryWireBytes computes the v2 wire size of an entry as persisted —
+// framing, header, report-anchor tags and op chunks — for the obs
+// recorded/replayed byte accounting.
+func entryWireBytes(key string, e *traceEntry) uint64 {
+	n := trace.WireSize(len(key), len(e.src), 1, e.nops)
+	traceEngine.mu.RLock()
+	for fp := range e.reps {
+		n += trace.TagWireSize(len(fp), 8)
+	}
+	traceEngine.mu.RUnlock()
+	return uint64(n)
 }
 
 // packReport flattens a report for trace-file metadata.
@@ -437,12 +633,20 @@ func runDirect(pool *cpu.Pool, label string, ref func() uint64, sim func(m *cpu.
 	return r
 }
 
-// replayTrace replays one stored stream, recovering any panic in the
-// replay layer (an injected fault, or a corrupt decoded stream crashing
-// the batched interpreter) into err so the caller can retry through the
-// degraded path. ok=false with err=nil means the entry is merely stale
-// (checksum or report mismatch) — re-record, no retry accounting.
-func replayTrace(pool *cpu.Pool, label string, e *traceEntry, refSum uint64) (r cpu.Report, ok bool, err error) {
+// replayTrace replays one stored stream under the machine config
+// fingerprinted by cfgFP, recovering any panic in the replay layer (an
+// injected fault, or a corrupt decoded stream crashing the batched
+// interpreter) into err so the caller can retry through the degraded
+// path. ok=false with err=nil means the entry is merely stale
+// (checksum mismatch, report-anchor mismatch, unreadable stream file)
+// — re-record, no retry accounting.
+//
+// Report verification is per config: replaying under an anchored
+// fingerprint must reproduce that anchor bit-exactly; the first replay
+// under a new geometry anchors its report (and, for materialized
+// entries with persistence on, re-persists the file so the anchor
+// survives the process).
+func replayTrace(pool *cpu.Pool, key, label string, e *traceEntry, cfgFP string, refSum uint64) (r cpu.Report, ok bool, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			if f, isFault := rec.(*faultinject.Fault); isFault && !f.Transient {
@@ -457,22 +661,113 @@ func replayTrace(pool *cpu.Pool, label string, e *traceEntry, refSum uint64) (r 
 		return r, false, nil
 	}
 	m := pool.Get()
-	m.ExecTrace(e.ops)
+	if e.ops != nil {
+		m.ExecTrace(e.ops)
+	} else {
+		f, ferr := os.Open(e.file)
+		if ferr != nil {
+			return r, false, nil
+		}
+		rd, rerr := trace.NewReader(f)
+		if rerr != nil {
+			f.Close()
+			return r, false, nil
+		}
+		serr := m.ExecTraceReader(rd)
+		f.Close()
+		if serr != nil {
+			// Mid-stream corruption: the machine executed a partial
+			// stream, so abandon it rather than pool it.
+			return r, false, nil
+		}
+	}
 	r = m.Report()
-	// Pool the machine only after it proved healthy: a replay that
-	// produced the wrong report may have left arbitrary state behind.
-	if r != e.rep {
+	traceEngine.mu.Lock()
+	want, anchored := e.reps[cfgFP]
+	if !anchored {
+		e.reps[cfgFP] = r
+	}
+	traceEngine.mu.Unlock()
+	if anchored && r != want {
+		// Pool the machine only after it proved healthy: a replay that
+		// produced the wrong report may have left arbitrary state behind.
 		return r, false, nil
 	}
 	harvest(m)
 	pool.Put(m)
+	if !anchored && e.ops != nil {
+		traceEngine.mu.RLock()
+		dir := traceEngine.dir
+		traceEngine.mu.RUnlock()
+		if dir != "" {
+			persistTrace(dir, key, e)
+		}
+	}
 	return r, true, nil
 }
 
+// enterRecording makes the caller the key's recording leader, or
+// returns the current leader's done channel to wait on.
+func enterRecording(key string) (ch chan struct{}, leader bool) {
+	traceEngine.mu.Lock()
+	defer traceEngine.mu.Unlock()
+	if ch, ok := traceEngine.inflight[key]; ok {
+		return ch, false
+	}
+	ch = make(chan struct{})
+	traceEngine.inflight[key] = ch
+	return ch, true
+}
+
+// exitRecording releases leadership and wakes the waiters.
+func exitRecording(key string) {
+	traceEngine.mu.Lock()
+	ch := traceEngine.inflight[key]
+	delete(traceEngine.inflight, key)
+	traceEngine.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// tryReplay attempts to serve one point from the trace store; a stale
+// or transiently failing entry is dropped (and booked) so the caller
+// falls back to recording.
+func tryReplay(pool *cpu.Pool, key, label, cfgFP string, ref func() uint64) (cpu.Report, bool) {
+	e := lookupTrace(key, label)
+	if e == nil {
+		return cpu.Report{}, false
+	}
+	rsp := obs.StartSpan("replay", label)
+	r, ok, err := replayTrace(pool, key, label, e, cfgFP, ref())
+	rsp.End()
+	if ok {
+		traceReplays.Add(1)
+		bytes := entryWireBytes(key, e)
+		traceBytesReplayed.Add(bytes)
+		if e.src != "" && e.src != cfgFP {
+			traceSharedReplays.Add(1)
+			traceBytesSharedAvoided.Add(bytes)
+		}
+		return r, true
+	}
+	// Stale or corrupt: forget it and let the caller re-record.
+	dropTrace(key)
+	traceRerecords.Add(1)
+	if err != nil {
+		// Transient replay failure: book it (quarantining repeat
+		// offenders) and back off before the degraded retry.
+		noteTransient(key, label, err)
+	}
+	return cpu.Report{}, false
+}
+
 // runTraced executes one simulation point through the trace engine: a
-// stored stream whose checksum and report re-verify is replayed on a
-// pooled machine; otherwise the workload runs for real (recording it
-// for next time unless untraceable or disabled).
+// stored stream whose checksum and per-config report re-verify is
+// replayed on a pooled machine; otherwise the workload runs for real
+// (recording it for next time unless untraceable or disabled). cfgFP
+// is the fingerprint of the machine config every machine in pool is
+// built from — the identity report anchors are keyed by.
 //
 // Fault tolerance: a transient replay failure (injected fault, crashing
 // interpreter) is retried through the degraded direct path after a
@@ -483,14 +778,14 @@ func replayTrace(pool *cpu.Pool, label string, e *traceEntry, refSum uint64) (r 
 // simulation run, whatever engine path it takes, passes through here
 // exactly once, so this is where points are counted and their wall time
 // distributed. Disarmed, the wrapper costs three atomic loads.
-func runTraced(pool *cpu.Pool, key, label string, ref func() uint64, sim func(m *cpu.Machine) uint64) cpu.Report {
+func runTraced(pool *cpu.Pool, key, label, cfgFP string, ref func() uint64, sim func(m *cpu.Machine) uint64) cpu.Report {
 	obs.NotePoint()
 	if !obs.Enabled() && !obs.TimelineEnabled() {
-		return runTracedEngine(pool, key, label, ref, sim)
+		return runTracedEngine(pool, key, label, cfgFP, ref, sim)
 	}
 	sp := obs.StartSpan("point", label)
 	start := time.Now()
-	r := runTracedEngine(pool, key, label, ref, sim)
+	r := runTracedEngine(pool, key, label, cfgFP, ref, sim)
 	pointWall.Observe(uint64(time.Since(start).Microseconds()))
 	sp.End()
 	return r
@@ -498,7 +793,7 @@ func runTraced(pool *cpu.Pool, key, label string, ref func() uint64, sim func(m 
 
 // runTracedEngine is runTraced's engine body (see runTraced for the
 // contract).
-func runTracedEngine(pool *cpu.Pool, key, label string, ref func() uint64, sim func(m *cpu.Machine) uint64) cpu.Report {
+func runTracedEngine(pool *cpu.Pool, key, label, cfgFP string, ref func() uint64, sim func(m *cpu.Machine) uint64) cpu.Report {
 	mode := TraceModeNow()
 	if mode == TraceOff || key == "" {
 		if traceDebug && key == "" {
@@ -515,37 +810,40 @@ func runTracedEngine(pool *cpu.Pool, key, label string, ref func() uint64, sim f
 	}
 
 	if mode == TraceOn {
-		if e := lookupTrace(key); e != nil {
-			rsp := obs.StartSpan("replay", label)
-			r, ok, err := replayTrace(pool, label, e, ref())
-			rsp.End()
-			if ok {
-				traceReplays.Add(1)
-				traceBytesReplayed.Add(uint64(trace.WireSize(len(key), 9, len(e.ops))))
+		for {
+			if r, ok := tryReplay(pool, key, label, cfgFP, ref); ok {
 				return r
 			}
-			// Stale or corrupt: forget it and re-record below.
-			dropTrace(key)
-			traceRerecords.Add(1)
-			if err != nil {
-				// Transient replay failure: book it (quarantining
-				// repeat offenders), back off, then fall through to
-				// the degraded re-record/direct path below.
-				noteTransient(key, label, err)
+			// A failed replay may have quarantined the key; a dead key
+			// (recording aborted, here or in the leader we waited on)
+			// will never replay. Both degrade to direct simulation.
+			if isQuarantined(key) || isDead(key) {
+				if traceDebug {
+					fmt.Fprintf(os.Stderr, "TRACEDBG deadrun %s\n", label)
+				}
+				return runDirect(pool, label, ref, sim)
 			}
+			ch, leader := enterRecording(key)
+			if leader {
+				return recordPoint(pool, key, label, cfgFP, ref, sim, true)
+			}
+			// Another worker is recording this key right now — the
+			// single-flight at the heart of sweep sharing. Wait for it,
+			// then loop back to replay its stream.
+			<-ch
 		}
 	}
+	return recordPoint(pool, key, label, cfgFP, ref, sim, false)
+}
 
-	traceEngine.mu.RLock()
-	_, dead := traceEngine.dead[key]
-	traceEngine.mu.RUnlock()
-	if dead {
-		if traceDebug {
-			fmt.Fprintf(os.Stderr, "TRACEDBG deadrun %s\n", label)
-		}
-		return runDirect(pool, label, ref, sim)
+// recordPoint runs one point directly with a recorder attached and
+// stores the captured stream. With exitFlight set the caller holds the
+// key's recording leadership, released (waking the waiters) however
+// the recording ends — including the verifySum panic path.
+func recordPoint(pool *cpu.Pool, key, label, cfgFP string, ref func() uint64, sim func(m *cpu.Machine) uint64, exitFlight bool) cpu.Report {
+	if exitFlight {
+		defer exitRecording(key)
 	}
-
 	rsp := obs.StartSpan("record", label)
 	m := pool.Get()
 	rec := trace.NewRecorder(maxTraceOps)
@@ -561,9 +859,11 @@ func runTracedEngine(pool *cpu.Pool, key, label string, ref func() uint64, sim f
 	harvest(m)
 	pool.Put(m)
 	if t, ok := rec.Take(); ok {
-		storeTrace(key, &traceEntry{ops: t.Ops, sum: got, rep: r})
+		e := &traceEntry{ops: t.Ops, nops: len(t.Ops), sum: got, src: cfgFP,
+			reps: map[string]cpu.Report{cfgFP: r}}
+		storeTrace(key, e)
 		traceRecords.Add(1)
-		traceBytesRecorded.Add(uint64(trace.WireSize(len(key), 9, len(t.Ops))))
+		traceBytesRecorded.Add(entryWireBytes(key, e))
 	} else {
 		if traceDebug {
 			recs, evs := rec.DebugCounts()

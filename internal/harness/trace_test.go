@@ -182,7 +182,12 @@ func TestCorruptTraceFallsBack(t *testing.T) {
 	}
 
 	corruptions := map[string]func(e *traceEntry){
-		"report":   func(e *traceEntry) { e.rep.Cycles++ },
+		"report": func(e *traceEntry) {
+			for fp, r := range e.reps {
+				r.Cycles++
+				e.reps[fp] = r
+			}
+		},
 		"checksum": func(e *traceEntry) { e.sum ^= 1 },
 		"ops": func(e *traceEntry) {
 			// Dropping the tail changes the replayed instruction and

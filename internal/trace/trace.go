@@ -28,10 +28,13 @@
 package trace
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
+	"sort"
 )
 
 // Kind discriminates trace operations.
@@ -440,133 +443,370 @@ func (r *Recorder) Warm(base, size uint64) { r.single(Op{Kind: KWarm, Addr: base
 // ResetStats records a ResetStats call.
 func (r *Recorder) ResetStats() { r.single(Op{Kind: KReset}) }
 
-// Binary persistence. Layout (little-endian):
+// Binary persistence, format v2. Layout (little-endian):
 //
-//	magic "CTRT" | version u32 | keyLen u32 | key | metaLen u32 |
-//	meta u64s | opCount u64 | ops (37 B each) | crc32(payload) u32
+//	magic "CTRT" | version u32 = 2 | headerLen u32 |
+//	header block (headerLen bytes):
+//	    keyLen u32 | key | srcLen u32 | src |
+//	    metaLen u32 | meta u64s |
+//	    tagCount u32 | tags: nameLen u32 | name | wordLen u32 | words u64s |
+//	    opCount u64 | chunkCap u32
+//	headerCRC u32 (over everything before it) |
+//	chunks: ops (37 B each, min(chunkCap, remaining) per chunk) |
+//	        chunkCRC u32 (over that chunk's op bytes)
 //
 // The key is the caller's full identity string (not a hash), so a
-// loader can reject a file that a hash collision or a renamed file
-// maps to the wrong identity; meta carries caller-opaque values (the
-// harness stores the workload checksum and the expected report there).
-// Any mismatch — magic, version, truncation, CRC — is an error; the
-// caller treats it as a miss and re-records.
+// loader can reject a file that a hash collision or a renamed file maps
+// to the wrong identity. src names where the stream came from (the
+// harness stores the recording machine's config fingerprint); meta
+// carries caller-opaque words (the workload checksum) and tags carry
+// named word vectors (one expected report per machine config the stream
+// has verified against). Framing the ops in fixed-size chunks, each
+// integrity-checked by its own CRC, is what lets the streaming Reader
+// replay a large trace in bounded memory: a chunk is validated, decoded
+// and executed before the next one is even read. Any mismatch — magic,
+// truncation, CRC — is ErrCorrupt and the caller treats the file as a
+// miss; a v1 (or future) version word is the distinct ErrVersion so
+// callers can report stale-format files instead of silently eating
+// them.
 
 const (
 	traceMagic   = "CTRT"
-	traceVersion = 1
+	traceVersion = 2
 	opWireSize   = 8 + 8 + 8 + 4 + 1 + 1 + 2
+
+	// DefaultChunkOps is the chunk granularity Encode frames ops at and
+	// the unit the streaming Reader buffers: ~150 KiB of wire bytes and
+	// one decoded []Op of the same length, whatever the trace size.
+	DefaultChunkOps = 4096
+
+	// maxHeaderLen bounds the header block a Reader will buffer; real
+	// headers are a few hundred bytes (key + a handful of report tags).
+	maxHeaderLen = 1 << 20
 )
 
 // ErrCorrupt reports an undecodable trace file.
 var ErrCorrupt = errors.New("trace: corrupt or truncated trace")
 
-// WireSize returns the exact encoded size of a trace with a keyLen-byte
-// key, metaLen metadata words and nOps operations — what Encode would
-// produce. The observability layer uses it to account record/replay
-// byte volume without re-encoding.
-func WireSize(keyLen, metaLen, nOps int) int {
-	return 4 + 4 + 4 + keyLen + 4 + 8*metaLen + 8 + opWireSize*nOps + 4
+// ErrVersion reports a structurally plausible trace whose format
+// version this package does not speak (a leftover v1 file, or a file
+// from a newer build). Distinct from ErrCorrupt so callers can journal
+// the stale format before transparently re-recording.
+var ErrVersion = errors.New("trace: unsupported trace format version")
+
+// numChunks returns how many op chunks a trace of nOps encodes to.
+func numChunks(nOps int) int {
+	return (nOps + DefaultChunkOps - 1) / DefaultChunkOps
 }
 
-// Encode serializes a trace with its identity key and opaque metadata.
-func Encode(key string, meta []uint64, ops []Op) []byte {
-	n := WireSize(len(key), len(meta), len(ops))
+// WireSize returns the exact encoded size of a tagless trace with a
+// keyLen-byte key, a srcLen-byte source string, metaLen metadata words
+// and nOps operations — what Encode would produce — including the v2
+// header and per-chunk CRC framing. Add TagWireSize per tag for a
+// tagged trace. The observability layer uses these to account
+// record/replay byte volume without re-encoding.
+func WireSize(keyLen, srcLen, metaLen, nOps int) int {
+	header := 4 + keyLen + 4 + srcLen + 4 + 8*metaLen + 4 + 8 + 4
+	return 4 + 4 + 4 + header + 4 + opWireSize*nOps + 4*numChunks(nOps)
+}
+
+// TagWireSize returns the encoded size of one header tag: a
+// nameLen-byte name with a words-long u64 vector.
+func TagWireSize(nameLen, words int) int {
+	return 4 + nameLen + 4 + 8*words
+}
+
+// appendOp serializes one op record.
+func appendOp(buf []byte, op *Op) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, op.Addr)
+	buf = binary.LittleEndian.AppendUint64(buf, op.Arg)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(op.Stride))
+	buf = binary.LittleEndian.AppendUint32(buf, op.Flags)
+	buf = append(buf, byte(op.Kind), op.Pre)
+	buf = binary.LittleEndian.AppendUint16(buf, op.PreN)
+	return buf
+}
+
+// decodeOp deserializes one op record from b (at least opWireSize
+// bytes).
+func decodeOp(b []byte) Op {
+	return Op{
+		Addr:   binary.LittleEndian.Uint64(b[0:]),
+		Arg:    binary.LittleEndian.Uint64(b[8:]),
+		Stride: int64(binary.LittleEndian.Uint64(b[16:])),
+		Flags:  binary.LittleEndian.Uint32(b[24:]),
+		Kind:   Kind(b[28]),
+		Pre:    b[29],
+		PreN:   binary.LittleEndian.Uint16(b[30:]),
+	}
+}
+
+// Encode serializes a trace with its identity key, source string,
+// opaque metadata and named tag vectors. Tags are written in sorted
+// name order, so equal inputs encode byte-identically.
+func Encode(key, src string, meta []uint64, tags map[string][]uint64, ops []Op) []byte {
+	n := WireSize(len(key), len(src), len(meta), len(ops))
+	names := make([]string, 0, len(tags))
+	for name := range tags {
+		names = append(names, name)
+		n += TagWireSize(len(name), len(tags[name]))
+	}
+	sort.Strings(names)
+
 	buf := make([]byte, 0, n)
 	buf = append(buf, traceMagic...)
 	buf = binary.LittleEndian.AppendUint32(buf, traceVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // headerLen, patched below
+	headerStart := len(buf)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
 	buf = append(buf, key...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(src)))
+	buf = append(buf, src...)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(meta)))
 	for _, v := range meta {
 		buf = binary.LittleEndian.AppendUint64(buf, v)
 	}
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(ops)))
-	for i := range ops {
-		op := &ops[i]
-		buf = binary.LittleEndian.AppendUint64(buf, op.Addr)
-		buf = binary.LittleEndian.AppendUint64(buf, op.Arg)
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(op.Stride))
-		buf = binary.LittleEndian.AppendUint32(buf, op.Flags)
-		buf = append(buf, byte(op.Kind), op.Pre)
-		buf = binary.LittleEndian.AppendUint16(buf, op.PreN)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(names)))
+	for _, name := range names {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(name)))
+		buf = append(buf, name...)
+		words := tags[name]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(words)))
+		for _, v := range words {
+			buf = binary.LittleEndian.AppendUint64(buf, v)
+		}
 	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(ops)))
+	buf = binary.LittleEndian.AppendUint32(buf, DefaultChunkOps)
+	binary.LittleEndian.PutUint32(buf[headerStart-4:], uint32(len(buf)-headerStart))
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+
+	for at := 0; at < len(ops); at += DefaultChunkOps {
+		end := at + DefaultChunkOps
+		if end > len(ops) {
+			end = len(ops)
+		}
+		chunkStart := len(buf)
+		for i := at; i < end; i++ {
+			buf = appendOp(buf, &ops[i])
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[chunkStart:]))
+	}
 	return buf
 }
 
-// Decode parses an Encode'd buffer, verifying structure and checksum.
-func Decode(buf []byte) (key string, meta []uint64, ops []Op, err error) {
-	if len(buf) < 4+4+4+4+8+4 || string(buf[:4]) != traceMagic {
-		return "", nil, nil, ErrCorrupt
+// Reader decodes an Encode'd stream incrementally: NewReader validates
+// the header, Next hands out one chunk of ops at a time. Memory stays
+// bounded by the chunk size however large the trace is, and the chunk
+// buffers are reused, so a replay loop driving Next allocates nothing
+// after construction.
+type Reader struct {
+	r         io.Reader
+	key, src  string
+	meta      []uint64
+	tags      map[string][]uint64
+	opCount   uint64
+	remaining uint64
+	chunkCap  int
+	buf       []byte // wire bytes of one chunk (+ its CRC)
+	ops       []Op   // decoded chunk, reused across Next calls
+	err       error  // sticky
+}
+
+// NewReader reads and validates a v2 trace header from r. A v1 file
+// fails with ErrVersion; structural damage with ErrCorrupt. The op
+// chunks are not read yet — drive Next (or DecodeAll) for those.
+func NewReader(r io.Reader) (*Reader, error) {
+	var fixed [12]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return nil, ErrCorrupt
 	}
-	payload, tail := buf[:len(buf)-4], buf[len(buf)-4:]
-	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(tail) {
-		return "", nil, nil, ErrCorrupt
+	if string(fixed[:4]) != traceMagic {
+		return nil, ErrCorrupt
 	}
-	p := payload[4:]
+	if v := binary.LittleEndian.Uint32(fixed[4:]); v != traceVersion {
+		return nil, fmt.Errorf("%w (v%d)", ErrVersion, v)
+	}
+	headerLen := binary.LittleEndian.Uint32(fixed[8:])
+	if headerLen < 4+4+4+4+8+4 || headerLen > maxHeaderLen {
+		return nil, ErrCorrupt
+	}
+	header := make([]byte, headerLen+4)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, ErrCorrupt
+	}
+	crc := crc32.ChecksumIEEE(fixed[:])
+	crc = crc32.Update(crc, crc32.IEEETable, header[:headerLen])
+	if crc != binary.LittleEndian.Uint32(header[headerLen:]) {
+		return nil, ErrCorrupt
+	}
+
+	p := header[:headerLen]
 	take := func(n int) []byte {
-		if len(p) < n {
+		if n < 0 || len(p) < n {
 			return nil
 		}
 		b := p[:n]
 		p = p[n:]
 		return b
 	}
-	v := take(4)
-	if v == nil || binary.LittleEndian.Uint32(v) != traceVersion {
-		return "", nil, nil, fmt.Errorf("%w (version)", ErrCorrupt)
-	}
-	kl := take(4)
-	if kl == nil {
-		return "", nil, nil, ErrCorrupt
-	}
-	kb := take(int(binary.LittleEndian.Uint32(kl)))
-	if kb == nil {
-		return "", nil, nil, ErrCorrupt
-	}
-	key = string(kb)
-	ml := take(4)
-	if ml == nil {
-		return "", nil, nil, ErrCorrupt
-	}
-	meta = make([]uint64, binary.LittleEndian.Uint32(ml))
-	for i := range meta {
-		mb := take(8)
-		if mb == nil {
-			return "", nil, nil, ErrCorrupt
+	takeU32 := func() (uint32, bool) {
+		b := take(4)
+		if b == nil {
+			return 0, false
 		}
-		meta[i] = binary.LittleEndian.Uint64(mb)
+		return binary.LittleEndian.Uint32(b), true
+	}
+	d := &Reader{r: r}
+	kl, ok := takeU32()
+	if !ok {
+		return nil, ErrCorrupt
+	}
+	kb := take(int(kl))
+	if kb == nil {
+		return nil, ErrCorrupt
+	}
+	d.key = string(kb)
+	sl, ok := takeU32()
+	if !ok {
+		return nil, ErrCorrupt
+	}
+	sb := take(int(sl))
+	if sb == nil {
+		return nil, ErrCorrupt
+	}
+	d.src = string(sb)
+	ml, ok := takeU32()
+	if !ok || uint64(ml) > uint64(len(p))/8 {
+		return nil, ErrCorrupt
+	}
+	d.meta = make([]uint64, ml)
+	for i := range d.meta {
+		d.meta[i] = binary.LittleEndian.Uint64(take(8))
+	}
+	tc, ok := takeU32()
+	if !ok {
+		return nil, ErrCorrupt
+	}
+	d.tags = make(map[string][]uint64, tc)
+	for t := uint32(0); t < tc; t++ {
+		nl, ok := takeU32()
+		if !ok {
+			return nil, ErrCorrupt
+		}
+		nb := take(int(nl))
+		if nb == nil {
+			return nil, ErrCorrupt
+		}
+		wl, ok := takeU32()
+		if !ok || uint64(wl) > uint64(len(p))/8 {
+			return nil, ErrCorrupt
+		}
+		words := make([]uint64, wl)
+		for i := range words {
+			words[i] = binary.LittleEndian.Uint64(take(8))
+		}
+		d.tags[string(nb)] = words
 	}
 	oc := take(8)
 	if oc == nil {
-		return "", nil, nil, ErrCorrupt
+		return nil, ErrCorrupt
 	}
-	n := binary.LittleEndian.Uint64(oc)
-	if n > uint64(len(p))/opWireSize {
-		return "", nil, nil, ErrCorrupt
+	d.opCount = binary.LittleEndian.Uint64(oc)
+	cc, ok := takeU32()
+	if !ok || len(p) != 0 {
+		return nil, ErrCorrupt
 	}
-	ops = make([]Op, n)
+	if cc == 0 || cc > 1<<20 {
+		return nil, ErrCorrupt
+	}
+	d.chunkCap = int(cc)
+	d.remaining = d.opCount
+	d.buf = make([]byte, d.chunkCap*opWireSize+4)
+	d.ops = make([]Op, d.chunkCap)
+	return d, nil
+}
+
+// Key returns the identity string embedded in the trace.
+func (d *Reader) Key() string { return d.key }
+
+// Src returns the caller-opaque source string (the harness stores the
+// recording machine's config fingerprint).
+func (d *Reader) Src() string { return d.src }
+
+// Meta returns the header's opaque metadata words.
+func (d *Reader) Meta() []uint64 { return d.meta }
+
+// Tags returns the header's named word vectors.
+func (d *Reader) Tags() map[string][]uint64 { return d.tags }
+
+// NumOps returns the total op count the header declares.
+func (d *Reader) NumOps() int { return int(d.opCount) }
+
+// Next returns the next chunk of ops, or io.EOF after the last chunk
+// (having verified the stream ends exactly there). The returned slice
+// is valid only until the following Next call — the Reader reuses its
+// buffers. Errors are sticky.
+func (d *Reader) Next() ([]Op, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.remaining == 0 {
+		if _, err := io.ReadFull(d.r, d.buf[:1]); err != io.EOF {
+			d.err = fmt.Errorf("%w (trailing bytes)", ErrCorrupt)
+			return nil, d.err
+		}
+		d.err = io.EOF
+		return nil, io.EOF
+	}
+	n := d.chunkCap
+	if uint64(n) > d.remaining {
+		n = int(d.remaining)
+	}
+	need := n*opWireSize + 4
+	buf := d.buf[:need]
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		d.err = ErrCorrupt
+		return nil, d.err
+	}
+	body := buf[: need-4 : need-4]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(buf[need-4:]) {
+		d.err = ErrCorrupt
+		return nil, d.err
+	}
+	ops := d.ops[:n]
 	for i := range ops {
-		ob := take(opWireSize)
-		if ob == nil {
-			return "", nil, nil, ErrCorrupt
-		}
-		ops[i] = Op{
-			Addr:   binary.LittleEndian.Uint64(ob[0:]),
-			Arg:    binary.LittleEndian.Uint64(ob[8:]),
-			Stride: int64(binary.LittleEndian.Uint64(ob[16:])),
-			Flags:  binary.LittleEndian.Uint32(ob[24:]),
-			Kind:   Kind(ob[28]),
-			Pre:    ob[29],
-			PreN:   binary.LittleEndian.Uint16(ob[30:]),
-		}
+		ops[i] = decodeOp(body[i*opWireSize:])
 		if ops[i].Kind >= kindCount {
-			return "", nil, nil, fmt.Errorf("%w (kind)", ErrCorrupt)
+			d.err = fmt.Errorf("%w (kind)", ErrCorrupt)
+			return nil, d.err
 		}
 	}
-	if len(p) != 0 {
-		return "", nil, nil, ErrCorrupt
+	d.remaining -= uint64(n)
+	return ops, nil
+}
+
+// Decode parses an Encode'd buffer in full, verifying structure and
+// checksums — NewReader + Next drained into one slice, for callers
+// that want the whole stream resident.
+func Decode(buf []byte) (key, src string, meta []uint64, tags map[string][]uint64, ops []Op, err error) {
+	d, err := NewReader(bytes.NewReader(buf))
+	if err != nil {
+		return "", "", nil, nil, nil, err
 	}
-	return key, meta, ops, nil
+	if d.opCount > uint64(len(buf))/opWireSize {
+		return "", "", nil, nil, nil, ErrCorrupt
+	}
+	ops = make([]Op, 0, d.opCount)
+	for {
+		chunk, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return "", "", nil, nil, nil, err
+		}
+		ops = append(ops, chunk...)
+	}
+	return d.key, d.src, d.meta, d.tags, ops, nil
 }

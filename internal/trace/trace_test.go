@@ -2,6 +2,10 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
 	"testing"
 )
 
@@ -136,19 +140,35 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	r.ResetStats()
 	tr, _ := r.Take()
 
-	key := "salt\x1fw:histogram\x1f500/1/0\x1fct\x1f0\x1fcfg"
+	key := "salt\x1fw:histogram\x1f500/1/0\x1fct\x1fshared"
+	src := "L1d:65536:8:2;dram=200"
 	meta := []uint64{0xdeadbeef, 1, 2, 3}
-	buf := Encode(key, meta, tr.Ops)
+	tags := map[string][]uint64{
+		"cfgA": {10, 20, 30},
+		"cfgB": {40},
+	}
+	buf := Encode(key, src, meta, tags, tr.Ops)
+	want := WireSize(len(key), len(src), len(meta), len(tr.Ops)) +
+		TagWireSize(len("cfgA"), 3) + TagWireSize(len("cfgB"), 1)
+	if len(buf) != want {
+		t.Errorf("WireSize mispredicts: encoded %d bytes, WireSize says %d", len(buf), want)
+	}
 
-	gotKey, gotMeta, gotOps, err := Decode(buf)
+	gotKey, gotSrc, gotMeta, gotTags, gotOps, err := Decode(buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if gotKey != key {
 		t.Errorf("key round trip: %q != %q", gotKey, key)
 	}
+	if gotSrc != src {
+		t.Errorf("src round trip: %q != %q", gotSrc, src)
+	}
 	if len(gotMeta) != len(meta) || gotMeta[0] != meta[0] || gotMeta[3] != meta[3] {
 		t.Errorf("meta round trip: %v != %v", gotMeta, meta)
+	}
+	if len(gotTags) != 2 || len(gotTags["cfgA"]) != 3 || gotTags["cfgA"][2] != 30 || gotTags["cfgB"][0] != 40 {
+		t.Errorf("tags round trip: %v != %v", gotTags, tags)
 	}
 	if len(gotOps) != len(tr.Ops) {
 		t.Fatalf("ops round trip: %d != %d", len(gotOps), len(tr.Ops))
@@ -160,13 +180,93 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReaderStreamsChunks pins the streaming contract on a trace big
+// enough for several chunks: Next hands out at most DefaultChunkOps ops
+// per call, the concatenation reproduces the stream exactly, and the
+// header fields arrive before any chunk is read.
+func TestReaderStreamsChunks(t *testing.T) {
+	const n = DefaultChunkOps*3 + 123
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = Op{Kind: KAccess, Addr: uint64(i * 64), Arg: 1, Flags: uint32(i % 7)}
+	}
+	buf := Encode("key", "src", []uint64{9}, map[string][]uint64{"fp": {1, 2}}, ops)
+
+	d, err := NewReader(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Key() != "key" || d.Src() != "src" || d.NumOps() != n {
+		t.Fatalf("header: key=%q src=%q ops=%d", d.Key(), d.Src(), d.NumOps())
+	}
+	if len(d.Meta()) != 1 || d.Meta()[0] != 9 || len(d.Tags()["fp"]) != 2 {
+		t.Fatalf("header meta/tags wrong: %v / %v", d.Meta(), d.Tags())
+	}
+	var got []Op
+	chunks := 0
+	for {
+		chunk, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chunk) > DefaultChunkOps {
+			t.Fatalf("chunk of %d ops exceeds the %d cap", len(chunk), DefaultChunkOps)
+		}
+		chunks++
+		got = append(got, chunk...)
+	}
+	if chunks != 4 {
+		t.Errorf("streamed %d chunks, want 4", chunks)
+	}
+	if len(got) != n {
+		t.Fatalf("streamed %d ops, want %d", len(got), n)
+	}
+	for i := range got {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d diverged: %+v != %+v", i, got[i], ops[i])
+		}
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Errorf("post-EOF Next returned %v, want io.EOF", err)
+	}
+}
+
+// TestReaderNextZeroAlloc pins that the streaming loop allocates
+// nothing after construction — the property that lets a large on-disk
+// trace replay without growing the heap per chunk.
+func TestReaderNextZeroAlloc(t *testing.T) {
+	const n = DefaultChunkOps * 8
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = Op{Kind: KRun, Addr: uint64(i * 64), Arg: 2, Stride: 64}
+	}
+	buf := Encode("key", "src", []uint64{1}, nil, ops)
+	d, err := NewReader(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One warm-up call plus 4 measured calls still leaves chunks unread,
+	// so every measured call takes the full-chunk path.
+	allocs := testing.AllocsPerRun(4, func() {
+		if _, err := d.Next(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Reader.Next allocates %.1f objects per chunk, want 0", allocs)
+	}
+}
+
 func TestDecodeRejectsCorruption(t *testing.T) {
 	r := NewRecorder(0)
 	for i := 0; i < 20; i++ {
 		r.Access(uint64(i*64), 0)
 	}
 	tr, _ := r.Take()
-	good := Encode("k", []uint64{1}, tr.Ops)
+	good := Encode("k", "s", []uint64{1}, nil, tr.Ops)
 
 	cases := map[string][]byte{
 		"empty":     {},
@@ -181,9 +281,34 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 	cases["trailing"] = trailing
 
 	for name, buf := range cases {
-		if _, _, _, err := Decode(buf); err == nil {
+		if _, _, _, _, _, err := Decode(buf); err == nil {
 			t.Errorf("%s: Decode accepted corrupted input", name)
 		}
+	}
+}
+
+// TestDecodeRejectsV1 pins the typed version error: a v1-era file is
+// ErrVersion (so the harness can journal the stale format), not the
+// generic ErrCorrupt.
+func TestDecodeRejectsV1(t *testing.T) {
+	var v1 []byte
+	v1 = append(v1, traceMagic...)
+	v1 = binary.LittleEndian.AppendUint32(v1, 1) // version
+	v1 = binary.LittleEndian.AppendUint32(v1, 1) // v1 keyLen
+	v1 = append(v1, 'k')                         // v1 key
+	v1 = binary.LittleEndian.AppendUint32(v1, 0) // v1 metaLen
+	v1 = binary.LittleEndian.AppendUint64(v1, 0) // v1 opCount
+	v1 = binary.LittleEndian.AppendUint32(v1, crc32.ChecksumIEEE(v1))
+
+	_, _, _, _, _, err := Decode(v1)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("v1 file decoded with %v, want ErrVersion", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version error must be distinct from ErrCorrupt: %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader(v1)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("NewReader on v1 file returned %v, want ErrVersion", err)
 	}
 }
 
