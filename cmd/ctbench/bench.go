@@ -3,7 +3,9 @@ package main
 import (
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -61,15 +63,29 @@ type benchSnapshot struct {
 	MachinesBuilt  uint64 `json:"machines_built"`
 	MachinesReused uint64 `json:"machines_reused"`
 
-	// Observability: the serial selection re-run with the metrics
-	// registry armed and the timeline collecting, against the disarmed
-	// serial wall above. The overhead must stay in the noise; the
-	// snapshot records it so the trajectory catches a regression in the
-	// instrumentation itself. Metrics is the armed run's harvest.
-	ObsArmedWallMS float64           `json:"obs_armed_wall_ms"`
-	ObsOverheadPct float64           `json:"obs_overhead_pct"`
-	TimelineEvents int               `json:"obs_timeline_events"`
-	Metrics        map[string]uint64 `json:"metrics,omitempty"`
+	// Observability: the serial selection run three times disarmed and
+	// three times armed (registry + timeline); the reported walls are
+	// the medians and the overhead is their clamped relative delta —
+	// host noise on a quick selection can make a single armed run
+	// "faster" than a single disarmed one, and a negative overhead
+	// figure is noise, not signal. The raw walls stay in the snapshot
+	// so the trajectory can see the spread. Metrics is the last armed
+	// run's harvest.
+	ObsDisarmedWallsMS []float64         `json:"obs_disarmed_walls_ms"`
+	ObsArmedWallsMS    []float64         `json:"obs_armed_walls_ms"`
+	ObsDisarmedWallMS  float64           `json:"obs_disarmed_wall_ms"`
+	ObsArmedWallMS     float64           `json:"obs_armed_wall_ms"`
+	ObsOverheadPct     float64           `json:"obs_overhead_pct"`
+	TimelineEvents     int               `json:"obs_timeline_events"`
+	Metrics            map[string]uint64 `json:"metrics,omitempty"`
+
+	// Sink contention: the shared-state hot paths (observability
+	// registry, manifest journal, result cache) measured under the
+	// legacy shared-atomic/flush-per-record regime versus the
+	// shard-and-commit regime, at GOMAXPROCS workers and at 4x
+	// oversubscription.
+	SinkContention   *harness.SinkBenchResult `json:"sink_contention,omitempty"`
+	SinkContention4x *harness.SinkBenchResult `json:"sink_contention_4x,omitempty"`
 
 	// Core-path allocation counts (testing.AllocsPerRun).
 	// RunWorkloadAllocs measures the direct (trace-off) path;
@@ -80,6 +96,16 @@ type benchSnapshot struct {
 	RunWorkloadAllocs      float64 `json:"run_workload_allocs"`
 	ReplayWorkloadAllocs   float64 `json:"replay_workload_allocs"`
 	MachineBuildAllocBytes uint64  `json:"machine_build_alloc_bytes"`
+}
+
+// medianOf returns the median of a small sample (0 when empty).
+func medianOf(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	return s[len(s)/2]
 }
 
 // writeBenchSnapshot runs the perf snapshot suite and writes it as JSON.
@@ -183,26 +209,60 @@ func writeBenchSnapshot(path string, selected []harness.Experiment, opts harness
 	}
 
 	// Armed observability overhead: the exact serial configuration from
-	// the first phase (trace and cache off), with the registry and
-	// timeline on.
-	obs.Reset()
-	obs.ResetTimeline()
-	obs.ResetProgress()
-	obs.Arm()
-	obs.EnableTimeline()
-	start = time.Now()
-	harness.RunAll(selected, serialOpts)
-	snap.ObsArmedWallMS = float64(time.Since(start).Microseconds()) / 1000
-	snap.TimelineEvents = obs.TimelineEventCount()
-	if snap.SerialWallMS > 0 {
-		snap.ObsOverheadPct = (snap.ObsArmedWallMS - snap.SerialWallMS) / snap.SerialWallMS * 100
+	// the first phase (trace and cache off), three disarmed and three
+	// armed runs interleaved-free, medians compared, delta clamped at
+	// zero (a negative figure is host noise, not a speedup).
+	const obsRuns = 3
+	for i := 0; i < obsRuns; i++ {
+		start = time.Now()
+		harness.RunAll(selected, serialOpts)
+		snap.ObsDisarmedWallsMS = append(snap.ObsDisarmedWallsMS, float64(time.Since(start).Microseconds())/1000)
 	}
-	snap.Metrics = obs.Snapshot()
-	obs.Disarm()
-	obs.DisableTimeline()
-	obs.ResetTimeline()
-	obs.Reset()
-	obs.ResetProgress()
+	for i := 0; i < obsRuns; i++ {
+		obs.Reset()
+		obs.ResetTimeline()
+		obs.ResetProgress()
+		obs.Arm()
+		obs.EnableTimeline()
+		start = time.Now()
+		harness.RunAll(selected, serialOpts)
+		snap.ObsArmedWallsMS = append(snap.ObsArmedWallsMS, float64(time.Since(start).Microseconds())/1000)
+		snap.TimelineEvents = obs.TimelineEventCount()
+		snap.Metrics = obs.Snapshot()
+		obs.Disarm()
+		obs.DisableTimeline()
+		obs.ResetTimeline()
+		obs.Reset()
+		obs.ResetProgress()
+	}
+	snap.ObsDisarmedWallMS = medianOf(snap.ObsDisarmedWallsMS)
+	snap.ObsArmedWallMS = medianOf(snap.ObsArmedWallsMS)
+	if snap.ObsDisarmedWallMS > 0 {
+		pct := (snap.ObsArmedWallMS - snap.ObsDisarmedWallMS) / snap.ObsDisarmedWallMS * 100
+		if pct < 0 {
+			pct = 0
+		}
+		snap.ObsOverheadPct = pct
+	}
+
+	// Sink contention at full width and 4x oversubscription. The bench
+	// arms and resets the registry itself.
+	if dir, err := os.MkdirTemp("", "ctbia-bench-sink-*"); err == nil {
+		defer os.RemoveAll(dir)
+		full := runtime.GOMAXPROCS(0)
+		if r, err := harness.RunSinkContentionBench(harness.SinkBenchConfig{
+			Workers: full, Items: 512, MetricsPerItem: 64,
+			Dir: filepath.Join(dir, "full"),
+		}); err == nil {
+			snap.SinkContention = &r
+		}
+		if r, err := harness.RunSinkContentionBench(harness.SinkBenchConfig{
+			Workers: 4 * full, Items: 512, MetricsPerItem: 64,
+			Dir: filepath.Join(dir, "4x"),
+		}); err == nil {
+			snap.SinkContention4x = &r
+		}
+	}
 
 	// Allocation counts on the core paths. These must stay at zero for
 	// the access paths; the Go-test suite enforces the same budgets.

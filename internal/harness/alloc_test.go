@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ctbia/internal/ct"
+	"ctbia/internal/obs"
 	"ctbia/internal/workloads"
 )
 
@@ -30,6 +31,48 @@ func TestRunWorkloadAllocBudget(t *testing.T) {
 	if allocs := measureRunWorkloadAllocs(); allocs > runWorkloadAllocBudget {
 		t.Errorf("RunWorkload: %.0f allocs/op, budget is %d — machine pooling regressed?",
 			allocs, runWorkloadAllocBudget)
+	}
+}
+
+// The shard-and-commit write path the harness hands its workers:
+// a warm private shard absorbs counter adds and histogram observes
+// with zero allocations, and merging every shard into a warm snapshot
+// map allocates nothing either. These pin the same contract as the
+// obs-package tests but from the harness's side of the API, with the
+// harness's own interned names in the table.
+func TestHarnessShardHotPathZeroAllocs(t *testing.T) {
+	defer obsReset()
+	obsReset()
+	obs.Arm()
+	id := obs.Intern("harness.alloc_probe")
+	h := obs.NewHistogram("harness.alloc_hist")
+	sh := obs.AcquireShard()
+	defer obs.ReleaseShard(sh)
+	sh.Add(id, 1)
+	sh.Observe(h, 1)
+	if n := testing.AllocsPerRun(1000, func() { sh.Add(id, 1) }); n != 0 {
+		t.Errorf("worker shard Add allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { sh.Observe(h, 9) }); n != 0 {
+		t.Errorf("worker shard Observe allocates %v/op", n)
+	}
+	dst := make(map[string]uint64)
+	obs.SnapshotInto(dst)
+	if n := testing.AllocsPerRun(100, func() { obs.SnapshotInto(dst) }); n != 0 {
+		t.Errorf("merge-on-pull SnapshotInto allocates %v/op on a warm map", n)
+	}
+}
+
+// noteWorkerBusy used to format the slot's metric name per completed
+// item; the interned handle path must not allocate once the slot has
+// been seen.
+func TestNoteWorkerBusyZeroAllocsWarm(t *testing.T) {
+	defer obsReset()
+	obsReset()
+	obs.Arm()
+	noteWorkerBusy(3, 1000) // intern the slot's name
+	if n := testing.AllocsPerRun(1000, func() { noteWorkerBusy(3, 1000) }); n != 0 {
+		t.Errorf("warm noteWorkerBusy allocates %v/op", n)
 	}
 }
 

@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"ctbia/internal/obs"
+	"ctbia/internal/resultcache"
+)
+
+// Sink-contention benchmark: measures what a parallel sweep pays for
+// its three shared sinks — the observability registry, the manifest
+// journal and the result cache — under the legacy shared-state
+// regime (name-based adds into shared counters, a full manifest
+// rewrite per Record, a write-through cache) versus the shard-and-
+// commit regime (interned handles into per-worker shards merged on
+// pull, batched WAL commits, write-behind grouped cache writes). The
+// simulated work per item is deliberately tiny so the sinks dominate;
+// a real sweep's win is smaller in relative terms but grows with
+// worker count, which is the point: the legacy sinks serialize
+// workers, the sharded ones do not.
+
+// SinkBenchConfig sizes one benchmark run.
+type SinkBenchConfig struct {
+	// Workers is the parallel worker count.
+	Workers int
+	// Items is the total number of simulated sweep points.
+	Items int
+	// MetricsPerItem is how many counter updates each item performs
+	// (a real point harvests a few dozen metrics plus the per-access
+	// probes it absorbed).
+	MetricsPerItem int
+	// Dir hosts the scratch manifest and cache; it must exist. Each
+	// mode uses its own subdirectory.
+	Dir string
+}
+
+// SinkBenchMode is one measured regime's numbers.
+type SinkBenchMode struct {
+	WallMS          float64 `json:"wall_ms"`
+	ManifestCommits uint64  `json:"manifest_commits"`
+	ManifestBytes   uint64  `json:"manifest_bytes"`
+	CacheWrites     uint64  `json:"cache_writes"`
+	CacheCommits    uint64  `json:"cache_commits"`
+	MetricsTotal    uint64  `json:"metrics_total"`
+}
+
+// SinkBenchResult is the benchmark's full report. MetricsMatch pins
+// that both regimes delivered the identical merged counter total —
+// sharding moves traffic, never information.
+type SinkBenchResult struct {
+	Workers      int           `json:"workers"`
+	Items        int           `json:"items"`
+	Legacy       SinkBenchMode `json:"legacy"`
+	Batched      SinkBenchMode `json:"batched"`
+	SpeedupX     float64       `json:"speedup_x"`
+	MetricsMatch bool          `json:"metrics_match"`
+}
+
+// sinkBenchNames is the stable metric name set each item updates,
+// standing in for a harvested machine's counters.
+func sinkBenchNames() []string {
+	names := make([]string, 16)
+	for i := range names {
+		names[i] = fmt.Sprintf("sinkbench.counter_%d", i)
+	}
+	return names
+}
+
+// RunSinkContentionBench runs both regimes and reports. The registry
+// is armed and Reset around each mode; callers doing their own metric
+// collection should snapshot first.
+func RunSinkContentionBench(cfg SinkBenchConfig) (SinkBenchResult, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Items < 1 {
+		cfg.Items = 1
+	}
+	if cfg.MetricsPerItem < 1 {
+		cfg.MetricsPerItem = 64
+	}
+	res := SinkBenchResult{Workers: cfg.Workers, Items: cfg.Items}
+	legacy, err := runSinkMode(cfg, true)
+	if err != nil {
+		return res, err
+	}
+	batched, err := runSinkMode(cfg, false)
+	if err != nil {
+		return res, err
+	}
+	res.Legacy, res.Batched = legacy, batched
+	if batched.WallMS > 0 {
+		res.SpeedupX = legacy.WallMS / batched.WallMS
+	}
+	res.MetricsMatch = legacy.MetricsTotal == batched.MetricsTotal &&
+		legacy.MetricsTotal == uint64(cfg.Items*cfg.MetricsPerItem)
+	return res, nil
+}
+
+// runSinkMode measures one regime: every worker pulls items off a
+// shared index and, per item, updates the metric set, journals a
+// manifest entry and saves a cache result.
+func runSinkMode(cfg SinkBenchConfig, legacy bool) (SinkBenchMode, error) {
+	var mode SinkBenchMode
+	sub := "batched"
+	if legacy {
+		sub = "legacy"
+	}
+	dir := cfg.Dir + string(os.PathSeparator) + sub
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return mode, err
+	}
+	store, err := resultcache.Open(dir, resultcache.ReadWrite, "")
+	if err != nil {
+		return mode, err
+	}
+	man := NewManifest(dir+string(os.PathSeparator)+ManifestName, true)
+	if legacy {
+		man.legacySnapshotPerRecord = true
+	} else {
+		store.EnableWriteBehind()
+	}
+
+	obs.Arm()
+	obs.Reset()
+	defer obs.Disarm()
+	names := sinkBenchNames()
+	ids := make([]obs.ID, len(names))
+	if !legacy {
+		for i, n := range names {
+			ids[i] = obs.Intern(n)
+		}
+	}
+
+	type cachedPoint struct {
+		Item int
+		Vals []int
+	}
+	var next int
+	var nextMu sync.Mutex
+	take := func() int {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		if next >= cfg.Items {
+			return -1
+		}
+		next++
+		return next - 1
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sh *obs.Shard
+			if !legacy {
+				sh = obs.AcquireShard()
+				defer obs.ReleaseShard(sh)
+			}
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				for k := 0; k < cfg.MetricsPerItem; k++ {
+					if legacy {
+						obs.Add(names[k%len(names)], 1)
+					} else {
+						sh.Add(ids[k%len(ids)], 1)
+					}
+				}
+				key := resultcache.Key("sinkbench", sub, fmt.Sprint(i))
+				_ = store.Save(key, cachedPoint{Item: i, Vals: []int{i, i * 2}})
+				man.Record(fmt.Sprintf("item-%d", i), ManifestEntry{
+					Status: "ok", Key: key, WallMS: 0.1,
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	man.Flush()
+	store.Flush()
+	mode.WallMS = float64(time.Since(start).Microseconds()) / 1000
+
+	_, walCommits, snapCommits, bytes, _ := man.Stats()
+	mode.ManifestCommits = walCommits + snapCommits
+	mode.ManifestBytes = bytes
+	_, _, writes := store.Stats()
+	mode.CacheWrites = writes
+	mode.CacheCommits = writes // write-through: one commit per write
+	store.EmitMetrics(func(name string, v uint64) {
+		if name == "resultcache.wb_commits" {
+			mode.CacheCommits = v
+		}
+	})
+	snap := obs.Snapshot()
+	for _, n := range names {
+		mode.MetricsTotal += snap[n]
+	}
+	man.Close()
+	store.Close()
+	obs.Reset()
+	return mode, nil
+}

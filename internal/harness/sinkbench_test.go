@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"ctbia/internal/obs"
+)
+
+// runSinkBench runs the contention benchmark at a worker count and
+// applies the structural assertions the CI contention job relies on:
+// both regimes agree on the merged metric total, the batched journal
+// commits a bounded number of times (instead of once per record), and
+// both journals reload complete.
+func runSinkBench(t *testing.T, workers int) SinkBenchResult {
+	t.Helper()
+	defer obsReset()
+	obsReset()
+	const items = 192
+	dir := t.TempDir()
+	res, err := RunSinkContentionBench(SinkBenchConfig{
+		Workers: workers, Items: items, MetricsPerItem: 64, Dir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MetricsMatch {
+		t.Errorf("metric totals diverged: legacy %d, batched %d (want %d)",
+			res.Legacy.MetricsTotal, res.Batched.MetricsTotal, items*64)
+	}
+	// Legacy rewrites the snapshot on every Record: exactly one commit
+	// per item. Batched must stay within the commit budget: one WAL
+	// append per full batch, plus the first-commit snapshot, the
+	// deadline tick and the final Flush/Close.
+	if res.Legacy.ManifestCommits != items {
+		t.Errorf("legacy manifest commits = %d, want %d (one per record)",
+			res.Legacy.ManifestCommits, items)
+	}
+	bound := uint64(items/DefaultManifestBatch + 4)
+	if res.Batched.ManifestCommits > bound {
+		t.Errorf("batched manifest commits = %d, want <= %d", res.Batched.ManifestCommits, bound)
+	}
+	// O(n²) vs O(n) journal traffic: with n well past the batch size
+	// the legacy regime must write strictly more bytes.
+	if res.Batched.ManifestBytes >= res.Legacy.ManifestBytes {
+		t.Errorf("batched journal bytes %d not below legacy %d",
+			res.Batched.ManifestBytes, res.Legacy.ManifestBytes)
+	}
+	if res.Legacy.CacheWrites != items || res.Batched.CacheWrites != items {
+		t.Errorf("cache writes = %d/%d, want %d each", res.Legacy.CacheWrites, res.Batched.CacheWrites, items)
+	}
+	if res.Batched.CacheCommits == 0 || res.Batched.CacheCommits > uint64(items) {
+		t.Errorf("batched cache commit groups = %d, want in [1,%d]", res.Batched.CacheCommits, items)
+	}
+	// Both journals must reload complete — batching trades commit
+	// granularity, never completed-sweep durability.
+	for _, sub := range []string{"legacy", "batched"} {
+		m, stale, err := LoadManifest(filepath.Join(dir, sub, ManifestName), true)
+		if err != nil || stale {
+			t.Fatalf("%s manifest reload: stale=%v err=%v", sub, stale, err)
+		}
+		if okN, failedN := m.Summary(); okN != items || failedN != 0 {
+			t.Errorf("%s manifest reloaded %d/%d entries, want %d/0", sub, okN, failedN, items)
+		}
+	}
+	return res
+}
+
+func TestSinkContentionBench(t *testing.T) {
+	res := runSinkBench(t, runtime.GOMAXPROCS(0))
+	t.Logf("workers=%d legacy=%.1fms batched=%.1fms speedup=%.2fx (commits %d->%d, bytes %d->%d)",
+		res.Workers, res.Legacy.WallMS, res.Batched.WallMS, res.SpeedupX,
+		res.Legacy.ManifestCommits, res.Batched.ManifestCommits,
+		res.Legacy.ManifestBytes, res.Batched.ManifestBytes)
+}
+
+// The CI contention job also runs at 4x oversubscription, where the
+// legacy sinks' serialization is at its worst.
+func TestSinkContentionBenchHighWorkers(t *testing.T) {
+	res := runSinkBench(t, 4*runtime.GOMAXPROCS(0))
+	t.Logf("workers=%d legacy=%.1fms batched=%.1fms speedup=%.2fx",
+		res.Workers, res.Legacy.WallMS, res.Batched.WallMS, res.SpeedupX)
+}
+
+// Tables must be byte-identical whether the sinks run in legacy or
+// shard-and-commit mode, armed or disarmed: the accumulation strategy
+// moves traffic, never results.
+func TestTablesByteIdenticalUnderSharding(t *testing.T) {
+	defer obsReset()
+	obsReset()
+	defer ResetTraces()
+	ResetTraces()
+	exps := Experiments()
+	if len(exps) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	exp := exps[0]
+	for _, e := range exps {
+		if e.ID == "fig2" {
+			exp = e
+			break
+		}
+	}
+
+	render := func(armed bool) string {
+		obsReset()
+		ResetTraces()
+		if armed {
+			obs.Arm()
+		}
+		res := RunAll([]Experiment{exp}, Options{Quick: true, Parallel: 2})
+		if len(res) != 1 || res[0].Failed() {
+			t.Fatalf("experiment failed: %+v", res[0].Err)
+		}
+		return res[0].Table.Render()
+	}
+
+	disarmed := render(false)
+	armed := render(true)
+	if disarmed != armed {
+		t.Fatalf("tables diverged between disarmed and armed+sharded runs:\n--- disarmed ---\n%s\n--- armed ---\n%s", disarmed, armed)
+	}
+}

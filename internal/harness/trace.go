@@ -627,7 +627,7 @@ func runDirect(pool *cpu.Pool, label string, ref func() uint64, sim func(m *cpu.
 	got := sim(m)
 	verifySum(label, got, ref())
 	r := m.Report()
-	harvest(m)
+	harvest(pool, m)
 	pool.Put(m)
 	sp.End()
 	return r
@@ -693,7 +693,7 @@ func replayTrace(pool *cpu.Pool, key, label string, e *traceEntry, cfgFP string,
 		// produced the wrong report may have left arbitrary state behind.
 		return r, false, nil
 	}
-	harvest(m)
+	harvest(pool, m)
 	pool.Put(m)
 	if !anchored && e.ops != nil {
 		traceEngine.mu.RLock()
@@ -856,7 +856,7 @@ func recordPoint(pool *cpu.Pool, key, label, cfgFP string, ref func() uint64, si
 	m.SetRecorder(nil)
 	verifySum(label, got, ref())
 	r := m.Report()
-	harvest(m)
+	harvest(pool, m)
 	pool.Put(m)
 	if t, ok := rec.Take(); ok {
 		e := &traceEntry{ops: t.Ops, nops: len(t.Ops), sum: got, src: cfgFP,

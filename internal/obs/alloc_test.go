@@ -49,3 +49,59 @@ func TestArmedAddSteadyStateZeroAllocs(t *testing.T) {
 		t.Fatalf("armed steady-state Add allocates %v/op", n)
 	}
 }
+
+// The sharded hot paths carry the same contract as the compat ones:
+// a warm per-worker shard updates with zero allocations, armed or not.
+
+func TestShardAddZeroAllocs(t *testing.T) {
+	defer reset()
+	reset()
+	Arm()
+	id := Intern("shard.hot")
+	sh := AcquireShard()
+	defer ReleaseShard(sh)
+	sh.Add(id, 1) // install the chunk outside the measured loop
+	if n := testing.AllocsPerRun(1000, func() { sh.Add(id, 1) }); n != 0 {
+		t.Fatalf("armed shard Add allocates %v/op", n)
+	}
+	Disarm()
+	if n := testing.AllocsPerRun(1000, func() { sh.Add(id, 1) }); n != 0 {
+		t.Fatalf("disarmed shard Add allocates %v/op", n)
+	}
+}
+
+func TestShardObserveZeroAllocs(t *testing.T) {
+	defer reset()
+	reset()
+	Arm()
+	h := NewHistogram("shard.hist")
+	sh := AcquireShard()
+	defer ReleaseShard(sh)
+	sh.Observe(h, 1)
+	if n := testing.AllocsPerRun(1000, func() { sh.Observe(h, 7) }); n != 0 {
+		t.Fatalf("armed shard Observe allocates %v/op", n)
+	}
+	Disarm()
+	if n := testing.AllocsPerRun(1000, func() { sh.Observe(h, 7) }); n != 0 {
+		t.Fatalf("disarmed shard Observe allocates %v/op", n)
+	}
+}
+
+// The merge-on-pull read side must not tax a polling exporter: merging
+// into a warm caller-owned map allocates nothing once every key exists.
+func TestSnapshotIntoSteadyStateZeroAllocs(t *testing.T) {
+	defer reset()
+	reset()
+	Arm()
+	id := Intern("merge.counter")
+	h := NewHistogram("merge.hist")
+	sh := AcquireShard()
+	sh.Add(id, 3)
+	sh.Observe(h, 9)
+	ReleaseShard(sh)
+	dst := make(map[string]uint64)
+	SnapshotInto(dst) // first call inserts the keys
+	if n := testing.AllocsPerRun(100, func() { SnapshotInto(dst) }); n != 0 {
+		t.Fatalf("warm SnapshotInto allocates %v/op", n)
+	}
+}

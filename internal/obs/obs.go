@@ -13,6 +13,12 @@
 // experiment tables are byte-identical either way (observation never
 // feeds back into simulation).
 //
+// The write side is sharded (see shard.go): names intern once into
+// dense IDs, each worker updates a private Shard with no shared state,
+// and snapshots merge every shard on pull. The name-based Add/Set
+// remain as the compat path for cold call sites; high-frequency
+// producers hold a shard and use handles.
+//
 // The simulator's layers do not push into this package directly: the
 // machine model keeps its existing per-machine statistics and the
 // harness harvests them into the registry (cpu.Machine.EmitMetrics)
@@ -49,74 +55,67 @@ func Disarm() { armed.Store(false) }
 // forgetting the guard costs allocations, never correctness.
 func Enabled() bool { return armed.Load() }
 
-// registry holds every named value. Counters dominate (harvested
-// machine statistics arrive as Add calls), so the read path is a
-// RWMutex-guarded map lookup that only takes the write lock to create
-// a counter the first time its name appears.
-var registry = struct {
-	mu       sync.RWMutex
-	counters map[string]*atomic.Uint64
-	gauges   map[string]*atomic.Uint64
-}{
-	counters: make(map[string]*atomic.Uint64),
-	gauges:   make(map[string]*atomic.Uint64),
-}
-
-func counterFor(name string) *atomic.Uint64 {
-	registry.mu.RLock()
-	c := registry.counters[name]
-	registry.mu.RUnlock()
-	if c != nil {
-		return c
-	}
-	registry.mu.Lock()
-	if c = registry.counters[name]; c == nil {
-		c = new(atomic.Uint64)
-		registry.counters[name] = c
-	}
-	registry.mu.Unlock()
-	return c
-}
-
-// Add increments the named counter by v. Disarmed it is a single
-// atomic load. The signature matches cpu.Machine.EmitMetrics's emit
-// callback, so a whole machine harvests with m.EmitMetrics(obs.Add).
+// Add increments the named counter by v through the shared compat
+// shard. Disarmed it is a single atomic load; armed it pays one name
+// interning (RLock + map hit) per call — hot producers should Intern
+// once and Add through a private Shard instead. The signature matches
+// cpu.Machine.EmitMetrics's emit callback, so a whole machine harvests
+// with m.EmitMetrics(obs.Add).
 func Add(name string, v uint64) {
 	if !armed.Load() {
 		return
 	}
-	counterFor(name).Add(v)
+	global.cell(Intern(name)).Add(v)
 }
+
+// gauges hold last-write-wins values. Gauges stay unsharded: merging
+// per-worker "last writes" has no meaningful winner, and every Set
+// call site is low-rate.
+var gauges = struct {
+	mu sync.RWMutex
+	m  map[string]*atomic.Uint64
+}{m: make(map[string]*atomic.Uint64)}
 
 // Set stores v as the named gauge (last write wins).
 func Set(name string, v uint64) {
 	if !armed.Load() {
 		return
 	}
-	registry.mu.RLock()
-	g := registry.gauges[name]
-	registry.mu.RUnlock()
+	gauges.mu.RLock()
+	g := gauges.m[name]
+	gauges.mu.RUnlock()
 	if g == nil {
-		registry.mu.Lock()
-		if g = registry.gauges[name]; g == nil {
+		gauges.mu.Lock()
+		if g = gauges.m[name]; g == nil {
 			g = new(atomic.Uint64)
-			registry.gauges[name] = g
+			gauges.m[name] = g
 		}
-		registry.mu.Unlock()
+		gauges.mu.Unlock()
 	}
 	g.Store(v)
 }
 
-// Histogram counts observations in power-of-two buckets: bucket i
-// holds values v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
-// Exported as cumulative le_* counters plus count and sum, which is
-// enough resolution to see a latency distribution's shape without
-// per-observation storage.
+// histBuckets is the bucket count of a power-of-two histogram: bucket
+// i holds values v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
+const histBuckets = 65
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v uint64) int { return bits.Len64(v) }
+
+// Histogram counts observations in power-of-two buckets, exported as
+// cumulative le_* counters plus count and sum — enough resolution to
+// see a latency distribution's shape without per-observation storage.
+// The histogram itself is a handle: observations land in the caller's
+// shard (Shard.Observe) or the shared compat shard (Observe), and
+// snapshots merge all of them.
 type Histogram struct {
-	name    string
-	buckets [65]atomic.Uint64
-	count   atomic.Uint64
-	sum     atomic.Uint64
+	name string
+	hid  ID // dense histogram index into each shard's hist chunks
+	// leNames precomputes the exported bucket key for every bucket
+	// index, so merging a snapshot allocates no strings.
+	leNames   [histBuckets]string
+	countName string
+	sumName   string
 }
 
 var histograms = struct {
@@ -135,19 +134,27 @@ func NewHistogram(name string) *Histogram {
 			return h
 		}
 	}
-	h := &Histogram{name: name}
+	if len(histograms.all) >= histChunks*histChunkSize {
+		panic(fmt.Sprintf("obs: more than %d histograms", histChunks*histChunkSize))
+	}
+	h := &Histogram{name: name, hid: ID(len(histograms.all))}
+	for i := range h.leNames {
+		h.leNames[i] = fmt.Sprintf("%s.le_%d", name, boundOf(i))
+	}
+	h.countName = name + ".count"
+	h.sumName = name + ".sum"
 	histograms.all = append(histograms.all, h)
 	return h
 }
 
-// Observe records one value. Disarmed it is a single atomic load.
+// Observe records one value into the shared compat shard. Disarmed it
+// is a single atomic load. High-frequency producers should go through
+// Shard.Observe instead.
 func (h *Histogram) Observe(v uint64) {
 	if !armed.Load() {
 		return
 	}
-	h.buckets[bits.Len64(v)].Add(1)
-	h.count.Add(1)
-	h.sum.Add(v)
+	global.hcells(h.hid).observe(v)
 }
 
 // Source is a pull-side metrics producer: called at snapshot time with
@@ -162,52 +169,121 @@ var sources = struct {
 }{}
 
 // RegisterSource adds a pull-side producer to every future snapshot.
+// A Source must not call Snapshot/SnapshotInto or RegisterSource.
 func RegisterSource(s Source) {
 	sources.mu.Lock()
 	sources.fns = append(sources.fns, s)
 	sources.mu.Unlock()
 }
 
+// snapMu serializes snapshot merges so the shared emitter below needs
+// no per-call closure (a top-level func value allocates nothing).
+var (
+	snapMu  sync.Mutex
+	snapDst map[string]uint64
+)
+
+func snapEmit(name string, v uint64) { snapDst[name] = v }
+
 // Snapshot returns every known metric as a flat name->value map:
-// counters, gauges, histogram decompositions (name.count, name.sum,
-// name.le_<bound> cumulative buckets) and registered sources.
+// merged shard counters, gauges, histogram decompositions (name.count,
+// name.sum, name.le_<bound> cumulative buckets) and registered
+// sources.
 func Snapshot() map[string]uint64 {
-	out := make(map[string]uint64)
-	registry.mu.RLock()
-	for name, c := range registry.counters {
-		out[name] = c.Load()
+	return SnapshotInto(make(map[string]uint64))
+}
+
+// SnapshotInto is Snapshot merging into a caller-owned map: dst is
+// cleared, filled and returned. Reusing one map across calls keeps a
+// polling exporter's steady state allocation-free — map writes to
+// existing keys allocate nothing, and the merge itself builds no
+// strings (bucket names are precomputed, counter names interned).
+func SnapshotInto(dst map[string]uint64) map[string]uint64 {
+	snapMu.Lock()
+	defer snapMu.Unlock()
+	clear(dst)
+	snapDst = dst
+	defer func() { snapDst = nil }()
+
+	// Counters: every interned name, summed across every shard. The
+	// name table only grows while armed (disarmed adds don't intern),
+	// so like the old registry a name appears once touched and stays.
+	nameTab.mu.RLock()
+	names := nameTab.list
+	nameTab.mu.RUnlock()
+	shards.mu.Lock()
+	for ci := 0; ci*countChunkSize < len(names); ci++ {
+		for _, sh := range shards.all {
+			ch := sh.counts[ci].Load()
+			if ch == nil {
+				continue
+			}
+			base := ci * countChunkSize
+			top := len(names) - base
+			if top > countChunkSize {
+				top = countChunkSize
+			}
+			for off := 0; off < top; off++ {
+				if v := ch[off].Load(); v != 0 {
+					dst[names[base+off]] += v
+				}
+			}
+		}
 	}
-	for name, g := range registry.gauges {
-		out[name] = g.Load()
+	// Zero-valued but interned names still appear (the old registry
+	// listed every created counter); fill the gaps.
+	for _, n := range names {
+		if _, ok := dst[n]; !ok {
+			dst[n] = 0
+		}
 	}
-	registry.mu.RUnlock()
+
+	// Histograms: merge buckets across shards into cumulative counts.
 	histograms.mu.Lock()
-	hs := append([]*Histogram(nil), histograms.all...)
-	histograms.mu.Unlock()
-	for _, h := range hs {
-		n := h.count.Load()
-		if n == 0 {
+	for _, h := range histograms.all {
+		var count, sum uint64
+		for _, sh := range shards.all {
+			if ch := sh.hists[int(h.hid)>>histChunkBits].Load(); ch != nil {
+				c := &ch[int(h.hid)&(histChunkSize-1)]
+				count += c.count.Load()
+				sum += c.sum.Load()
+			}
+		}
+		if count == 0 {
 			continue
 		}
-		out[h.name+".count"] = n
-		out[h.name+".sum"] = h.sum.Load()
+		dst[h.countName] = count
+		dst[h.sumName] = sum
 		var cum uint64
-		for i := range h.buckets {
-			b := h.buckets[i].Load()
+		for i := 0; i < histBuckets; i++ {
+			var b uint64
+			for _, sh := range shards.all {
+				if ch := sh.hists[int(h.hid)>>histChunkBits].Load(); ch != nil {
+					b += ch[int(h.hid)&(histChunkSize-1)].buckets[i].Load()
+				}
+			}
 			if b == 0 {
 				continue
 			}
 			cum += b
-			out[fmt.Sprintf("%s.le_%d", h.name, boundOf(i))] = cum
+			dst[h.leNames[i]] = cum
 		}
 	}
-	sources.mu.Lock()
-	fns := append([]Source(nil), sources.fns...)
-	sources.mu.Unlock()
-	for _, fn := range fns {
-		fn(func(name string, v uint64) { out[name] = v })
+	histograms.mu.Unlock()
+	shards.mu.Unlock()
+
+	gauges.mu.RLock()
+	for name, g := range gauges.m {
+		dst[name] = g.Load()
 	}
-	return out
+	gauges.mu.RUnlock()
+
+	sources.mu.Lock()
+	for _, fn := range sources.fns {
+		fn(snapEmit)
+	}
+	sources.mu.Unlock()
+	return dst
 }
 
 // boundOf maps a bits.Len64 bucket index to its exclusive upper bound.
@@ -236,27 +312,20 @@ func Delta(before, after map[string]uint64) map[string]uint64 {
 	return out
 }
 
-// Reset zeroes every counter, gauge and histogram (sources keep their
-// own state). Benchmarks use it to separate measurement phases; tests
-// use it for isolation.
+// Reset zeroes every counter, gauge and histogram across every shard
+// (sources keep their own state). Benchmarks use it to separate
+// measurement phases; tests use it for isolation.
 func Reset() {
-	registry.mu.Lock()
-	for _, c := range registry.counters {
-		c.Store(0)
+	shards.mu.Lock()
+	for _, sh := range shards.all {
+		sh.reset()
 	}
-	for _, g := range registry.gauges {
+	shards.mu.Unlock()
+	gauges.mu.Lock()
+	for _, g := range gauges.m {
 		g.Store(0)
 	}
-	registry.mu.Unlock()
-	histograms.mu.Lock()
-	for _, h := range histograms.all {
-		for i := range h.buckets {
-			h.buckets[i].Store(0)
-		}
-		h.count.Store(0)
-		h.sum.Store(0)
-	}
-	histograms.mu.Unlock()
+	gauges.mu.Unlock()
 }
 
 // sortedNames returns the snapshot's keys in deterministic order, so

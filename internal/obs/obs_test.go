@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -219,5 +220,106 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	if !strings.Contains(get("/debug/vars"), "ctbia_metrics") {
 		t.Fatal("/debug/vars missing ctbia_metrics")
+	}
+}
+
+// Sharded write side: per-worker shards are private on the write path
+// and merged on pull, summing with each other and the compat path.
+func TestShardsMergeOnPull(t *testing.T) {
+	defer reset()
+	reset()
+	Arm()
+	id := Intern("shard.merge")
+	if Intern("shard.merge") != id {
+		t.Fatal("Intern did not dedup")
+	}
+	a, b := AcquireShard(), NewShard()
+	a.Add(id, 2)
+	b.Add(id, 3)
+	AddID(id, 5)          // compat shard, by handle
+	Add("shard.merge", 7) // compat shard, by name
+	ReleaseShard(a)
+	if got := Snapshot()["shard.merge"]; got != 17 {
+		t.Fatalf("merged counter = %d, want 17", got)
+	}
+	Reset()
+	if got := Snapshot()["shard.merge"]; got != 0 {
+		t.Fatalf("after Reset, merged counter = %d, want 0", got)
+	}
+}
+
+func TestShardHistogramMergesWithCompat(t *testing.T) {
+	defer reset()
+	reset()
+	Arm()
+	h := NewHistogram("shard.lat")
+	sh := AcquireShard()
+	sh.Observe(h, 1)
+	sh.Observe(h, 100)
+	ReleaseShard(sh)
+	h.Observe(3)
+	snap := Snapshot()
+	if snap["shard.lat.count"] != 3 || snap["shard.lat.sum"] != 104 {
+		t.Fatalf("count/sum = %d/%d, want 3/104", snap["shard.lat.count"], snap["shard.lat.sum"])
+	}
+	if snap["shard.lat.le_2"] != 1 || snap["shard.lat.le_4"] != 2 || snap["shard.lat.le_128"] != 3 {
+		t.Fatalf("cumulative buckets wrong: %v", snap)
+	}
+}
+
+func TestDisarmedShardAddInvisible(t *testing.T) {
+	defer reset()
+	reset()
+	Arm()
+	id := Intern("shard.gated")
+	Disarm()
+	sh := AcquireShard()
+	sh.Add(id, 9)
+	ReleaseShard(sh)
+	if v := Snapshot()["shard.gated"]; v != 0 {
+		t.Fatalf("disarmed shard Add leaked %d", v)
+	}
+}
+
+// Concurrent writers on private shards plus pollers on SnapshotInto:
+// the merge must be race-free and lose nothing once writers finish.
+func TestShardConcurrentMerge(t *testing.T) {
+	defer reset()
+	reset()
+	Arm()
+	id := Intern("shard.conc")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // poller racing the writers
+		defer wg.Done()
+		dst := make(map[string]uint64)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				SnapshotInto(dst)
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ww.Add(1)
+		go func() {
+			defer ww.Done()
+			sh := AcquireShard()
+			for i := 0; i < per; i++ {
+				sh.Add(id, 1)
+			}
+			ReleaseShard(sh)
+		}()
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := Snapshot()["shard.conc"]; got != workers*per {
+		t.Fatalf("merged %d, want %d", got, workers*per)
 	}
 }

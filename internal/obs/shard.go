@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded accumulation: the registry's write side. Metric names are
+// interned once into dense IDs, and every hot-path update lands in a
+// *Shard* — a private block of per-ID cells a single worker owns while
+// it holds the shard. Nothing is shared on the write path (no map
+// lookup, no cross-worker cache-line traffic), so a sweep's workers
+// scale instead of serializing on one atomic per metric name. The read
+// side (SnapshotInto) merges every shard on pull: commit information,
+// not traffic.
+//
+// Cells are still atomic.Uint64 — not for cross-writer arbitration (a
+// shard has one writer at a time) but so a concurrent Snapshot (live
+// -listen endpoints poll mid-run) reads coherent values without locks.
+// An uncontended atomic add on a cache line no other core touches costs
+// about the same as a plain add, which is the whole trick.
+
+// ID is the dense handle of an interned metric name. Resolve it once
+// at registration time (Intern) and use it on every Add — the map
+// lookup happens exactly once per name, not once per update. The zero
+// value is a valid ID (the first interned name); negative IDs are
+// ignored by Add.
+type ID int32
+
+// nameTab interns metric names to dense IDs. Registration-time only:
+// the hot paths never touch it.
+var nameTab = struct {
+	mu   sync.RWMutex
+	ids  map[string]ID
+	list []string // index = ID
+}{ids: make(map[string]ID)}
+
+// Intern registers name and returns its dense ID (the existing ID when
+// the name is already known). Safe for concurrent use; the read path is
+// an RLock + map hit. Call it at registration time, keep the ID, and
+// feed it to Shard.Add / AddID forever after.
+func Intern(name string) ID {
+	nameTab.mu.RLock()
+	id, ok := nameTab.ids[name]
+	nameTab.mu.RUnlock()
+	if ok {
+		return id
+	}
+	nameTab.mu.Lock()
+	defer nameTab.mu.Unlock()
+	if id, ok = nameTab.ids[name]; ok {
+		return id
+	}
+	id = ID(len(nameTab.list))
+	if int(id) >= countChunks*countChunkSize {
+		panic(fmt.Sprintf("obs: more than %d interned metric names", countChunks*countChunkSize))
+	}
+	nameTab.ids[name] = id
+	nameTab.list = append(nameTab.list, name)
+	return id
+}
+
+// NameOf returns the interned name for id ("" when out of range).
+func NameOf(id ID) string {
+	nameTab.mu.RLock()
+	defer nameTab.mu.RUnlock()
+	if id < 0 || int(id) >= len(nameTab.list) {
+		return ""
+	}
+	return nameTab.list[id]
+}
+
+// Cell geometry. Counter cells live in fixed-position chunks hanging
+// off a per-shard spine of atomic pointers: chunks are installed once
+// (CAS) and never move, so concurrent Snapshot reads and the owner's
+// adds need no growth coordination, and the shared compat shard (which
+// *does* have many writers) is race-free by construction.
+const (
+	countChunkBits = 10
+	countChunkSize = 1 << countChunkBits // counters per chunk
+	countChunks    = 64                  // spine length: 65536 names max
+
+	histChunkBits = 3
+	histChunkSize = 1 << histChunkBits // histograms per chunk
+	histChunks    = 16                 // 128 histograms max
+)
+
+type countChunk [countChunkSize]atomic.Uint64
+
+// histCells is one histogram's accumulation state within one shard:
+// power-of-two buckets plus count and sum (see Histogram).
+type histCells struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+func (c *histCells) observe(v uint64) {
+	c.buckets[bucketOf(v)].Add(1)
+	c.count.Add(1)
+	c.sum.Add(v)
+}
+
+type histChunk [histChunkSize]histCells
+
+// Shard is one worker's private accumulator. Acquire one per
+// work item (AcquireShard), Add/Observe through it with interned
+// handles, and Release it when the item completes; counts stay in the
+// shard (they are never flushed anywhere) and every snapshot merges all
+// shards on pull. A shard must have at most one goroutine writing into
+// it at a time — Acquire/Release provide exactly that ownership.
+type Shard struct {
+	counts [countChunks]atomic.Pointer[countChunk]
+	hists  [histChunks]atomic.Pointer[histChunk]
+}
+
+// shards tracks every shard ever created so SnapshotInto can merge
+// them. Shards are pooled and reused, never removed: a shard dropped by
+// the pool keeps its counts and stays mergeable.
+var shards = struct {
+	mu  sync.Mutex
+	all []*Shard
+}{}
+
+// NewShard creates and registers a merge-visible shard. Most callers
+// want AcquireShard instead; NewShard is for a worker that owns its
+// shard for a whole run.
+func NewShard() *Shard {
+	s := &Shard{}
+	shards.mu.Lock()
+	shards.all = append(shards.all, s)
+	shards.mu.Unlock()
+	return s
+}
+
+// shardPool recycles shards across work items. sync.Pool gives each P
+// its own cache, so at steady state Acquire/Release is a pointer swap
+// with no shared state; a pool-evicted shard stays registered (its
+// counts survive) and a fresh one simply joins the merge set.
+var shardPool = sync.Pool{New: func() any { return NewShard() }}
+
+// AcquireShard hands the caller a private shard. The caller owns it —
+// no other goroutine may write into it — until ReleaseShard.
+func AcquireShard() *Shard {
+	return shardPool.Get().(*Shard)
+}
+
+// ReleaseShard returns a shard to the pool for the next worker. The
+// shard's accumulated counts remain visible to snapshots.
+func ReleaseShard(s *Shard) {
+	shardPool.Put(s)
+}
+
+// cell returns the counter cell for id, installing its chunk on first
+// touch. Steady-state: two array indexes and an atomic pointer load.
+func (s *Shard) cell(id ID) *atomic.Uint64 {
+	ci, off := int(id)>>countChunkBits, int(id)&(countChunkSize-1)
+	ch := s.counts[ci].Load()
+	if ch == nil {
+		ch = new(countChunk)
+		if !s.counts[ci].CompareAndSwap(nil, ch) {
+			ch = s.counts[ci].Load()
+		}
+	}
+	return &ch[off]
+}
+
+// Add increments the counter behind an interned handle. Disarmed it is
+// a single atomic load; armed and warm it is an uncontended atomic add
+// with zero allocations — no name lookup, ever. Negative IDs are
+// ignored.
+func (s *Shard) Add(id ID, v uint64) {
+	if !armed.Load() || id < 0 {
+		return
+	}
+	s.cell(id).Add(v)
+}
+
+// hcells returns this shard's cells for histogram index hid.
+func (s *Shard) hcells(hid ID) *histCells {
+	ci, off := int(hid)>>histChunkBits, int(hid)&(histChunkSize-1)
+	ch := s.hists[ci].Load()
+	if ch == nil {
+		ch = new(histChunk)
+		if !s.hists[ci].CompareAndSwap(nil, ch) {
+			ch = s.hists[ci].Load()
+		}
+	}
+	return &ch[off]
+}
+
+// Observe records one histogram value into the shard. Same cost model
+// as Add: zero-alloc, no shared cache lines, merged on pull.
+func (s *Shard) Observe(h *Histogram, v uint64) {
+	if !armed.Load() {
+		return
+	}
+	s.hcells(h.hid).observe(v)
+}
+
+// reset zeroes the shard's cells (chunks stay installed).
+func (s *Shard) reset() {
+	for i := range s.counts {
+		if ch := s.counts[i].Load(); ch != nil {
+			for j := range ch {
+				ch[j].Store(0)
+			}
+		}
+	}
+	for i := range s.hists {
+		if ch := s.hists[i].Load(); ch != nil {
+			for j := range ch {
+				for b := range ch[j].buckets {
+					ch[j].buckets[b].Store(0)
+				}
+				ch[j].count.Store(0)
+				ch[j].sum.Store(0)
+			}
+		}
+	}
+}
+
+// global is the shared compat shard behind the name-based Add and the
+// plain Histogram.Observe path. Its cells are contended across workers
+// — exactly the behaviour the handle+shard API exists to avoid — but it
+// keeps the one-liner m.EmitMetrics(obs.Add) working for cold paths.
+var global = NewShard()
+
+// AddID increments a counter through the shared compat shard by
+// handle: no name lookup, but the cell is shared. Use for low-rate
+// call sites that have an ID and no shard in hand.
+func AddID(id ID, v uint64) {
+	if !armed.Load() || id < 0 {
+		return
+	}
+	global.cell(id).Add(v)
+}

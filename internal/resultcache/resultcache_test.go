@@ -2,8 +2,10 @@ package resultcache
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"ctbia/internal/faultinject"
@@ -437,6 +439,122 @@ func TestInjectedCacheCorruption(t *testing.T) {
 	if s.Quarantined() != 1 {
 		t.Fatalf("Quarantined()=%d, want 1", s.Quarantined())
 	}
+}
+
+// The same-salt reopen must take the fast path: the marker alone
+// proves the directory is current, so Open does not walk (or touch)
+// the entries at all — even ones a mismatched-salt prune would remove.
+func TestPruneFastPathSkipsWalk(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir, ReadWrite, "sim-v1"); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(dir, "feedface.json")
+	if err := os.WriteFile(stray, []byte("not even json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, ReadWrite, "sim-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pruned() != 0 {
+		t.Errorf("same-salt reopen pruned %d entries", s.Pruned())
+	}
+	if _, err := os.Stat(stray); err != nil {
+		t.Errorf("same-salt reopen walked and removed entries: %v", err)
+	}
+	// Sanity: a mismatched salt still sweeps the stray file.
+	s2, err := Open(dir, ReadWrite, "sim-v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Pruned() != 1 {
+		t.Errorf("salt bump pruned %d entries, want 1", s2.Pruned())
+	}
+}
+
+// Write-behind: parallel Saves coalesce into grouped commits by the
+// background committer; queued entries serve read-your-writes hits
+// from memory, and Flush makes everything durable.
+func TestWriteBehindCoalescesAndFlushes(t *testing.T) {
+	s := openRW(t)
+	s.EnableWriteBehind()
+	s.EnableWriteBehind() // idempotent
+	defer s.Close()
+
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := s.Save(Key("wb", fmt.Sprint(i)), payload{Name: "e", Vals: []int{i}}); err != nil {
+				t.Errorf("Save: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Read-your-writes: every entry hits immediately, flushed or not.
+	var got payload
+	for i := 0; i < n; i++ {
+		if !s.Load(Key("wb", fmt.Sprint(i)), &got) || got.Vals[0] != i {
+			t.Fatalf("entry %d not served while queued: %+v", i, got)
+		}
+	}
+
+	s.Flush()
+	s.Flush() // idempotent on an empty queue
+	files, _ := filepath.Glob(filepath.Join(s.Dir(), "*.json"))
+	if len(files) != n {
+		t.Fatalf("after Flush, %d files on disk, want %d", len(files), n)
+	}
+	metrics := map[string]uint64{}
+	s.EmitMetrics(func(name string, v uint64) { metrics[name] = v })
+	if metrics["resultcache.wb_pending"] != 0 {
+		t.Errorf("wb_pending = %d after Flush", metrics["resultcache.wb_pending"])
+	}
+	if g := metrics["resultcache.wb_commits"]; g == 0 || g > n {
+		t.Errorf("wb_commits = %d, want in [1,%d]", g, n)
+	}
+	if _, _, writes := s.Stats(); writes != n {
+		t.Errorf("writes = %d, want %d", writes, n)
+	}
+
+	// A fresh store (no queue in play) reads the committed files.
+	s2, err := Open(s.Dir(), ReadOnly, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Load(Key("wb", "7"), &got) || got.Vals[0] != 7 {
+		t.Fatalf("committed entry unreadable from disk: %+v", got)
+	}
+}
+
+// Close drains the queue and returns the store to direct writes.
+func TestWriteBehindCloseDrains(t *testing.T) {
+	s := openRW(t)
+	s.EnableWriteBehind()
+	key := Key("wb", "close")
+	if err := s.Save(key, payload{Name: "queued"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := os.Stat(s.path(key)); err != nil {
+		t.Fatalf("Close did not drain the queue: %v", err)
+	}
+	// Post-Close Saves are write-through again.
+	key2 := Key("wb", "direct")
+	if err := s.Save(key2, payload{Name: "direct"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(s.path(key2)); err != nil {
+		t.Fatalf("post-Close Save not written through: %v", err)
+	}
+	var nilStore *Store
+	nilStore.Flush() // nil-safe
+	nilStore.Close()
 }
 
 func TestEnsureWritable(t *testing.T) {

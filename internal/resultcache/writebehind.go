@@ -1,0 +1,177 @@
+package resultcache
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+)
+
+// Write-behind coalescing: the store's answer to a parallel sweep
+// hammering Save from every worker at once. Enabled, a Save marshals
+// on the caller (that part parallelizes fine) and parks the encoded
+// entry in a lock-free pending map; a single committer goroutine
+// drains the map in grouped commits, so filesystem traffic — temp
+// file churn, renames, metadata writes — happens off the workers'
+// critical path and in batches whose size grows naturally with the
+// arrival rate (while the committer writes one group, the next one
+// accumulates). Load stays lock-free and read-your-writes: a pending
+// entry serves hits straight from memory before the disk is consulted.
+//
+// The durability trade is explicit: an enabled store only promises
+// queued entries reach disk at Flush/Close (RunAll flushes at the end
+// of every sweep). A crash in between costs recomputes — the cache's
+// miss behaviour — never a torn or wrong entry, because each file
+// still lands via its own temp+rename.
+
+// wbEntry is one queued write. Entries are compared by pointer
+// identity (sync.Map's CompareAndDelete), so a Save that overwrites a
+// key mid-commit keeps its newer entry queued.
+type wbEntry struct {
+	buf []byte
+}
+
+type writeBehind struct {
+	// mu/cond pair only for Flush waiters; the data path never locks.
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	pending sync.Map     // key string -> *wbEntry
+	queued  atomic.Int64 // number of distinct keys pending
+	wake    chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+
+	groups atomic.Uint64 // grouped commits performed
+	drops  atomic.Uint64 // entries whose disk write failed
+}
+
+// EnableWriteBehind switches a read-write store to write-behind
+// coalescing and starts its committer goroutine. Idempotent; a nil or
+// non-writable store ignores the call. Pair with Close (or at least
+// Flush) before the process exits, or queued entries never reach disk.
+func (s *Store) EnableWriteBehind() {
+	if s == nil || s.mode != ReadWrite {
+		return
+	}
+	wb := &writeBehind{
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	wb.cond = sync.NewCond(&wb.mu)
+	if !s.wb.CompareAndSwap(nil, wb) {
+		return // already enabled
+	}
+	go s.committer(wb)
+}
+
+// enqueue parks an encoded entry for the committer and wakes it. The
+// queued counter tracks distinct keys: overwriting a pending key
+// replaces its entry without changing the count.
+func (wb *writeBehind) enqueue(key string, buf []byte) {
+	if _, loaded := wb.pending.Swap(key, &wbEntry{buf: buf}); !loaded {
+		wb.queued.Add(1)
+	}
+	select {
+	case wb.wake <- struct{}{}:
+	default: // committer already signalled
+	}
+}
+
+// loadPending serves a queued entry from memory (read-your-writes for
+// a worker re-running an experiment another worker just finished).
+func (wb *writeBehind) loadPending(key string, v any) bool {
+	e, ok := wb.pending.Load(key)
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(e.(*wbEntry).buf, v) == nil
+}
+
+// committer is the single drain goroutine: each wakeup commits the
+// whole pending set as one group, then notifies Flush waiters.
+func (s *Store) committer(wb *writeBehind) {
+	defer close(wb.done)
+	for {
+		select {
+		case <-wb.stop:
+			s.commitGroup(wb)
+			return
+		case <-wb.wake:
+			s.commitGroup(wb)
+		}
+	}
+}
+
+// commitGroup writes every currently pending entry. Each file still
+// lands via temp+rename (atomic per entry); the grouping is about
+// doing the filesystem work serially, off the workers, in batches. A
+// failed write drops the entry — costing a recompute next run, the
+// cache's ordinary miss behaviour.
+func (s *Store) commitGroup(wb *writeBehind) {
+	type item struct {
+		key string
+		e   *wbEntry
+	}
+	var batch []item
+	wb.pending.Range(func(k, v any) bool {
+		batch = append(batch, item{k.(string), v.(*wbEntry)})
+		return true
+	})
+	if len(batch) == 0 {
+		return
+	}
+	for _, it := range batch {
+		if err := s.writeEntry(it.key, it.e.buf); err != nil {
+			wb.drops.Add(1)
+		}
+		// Only retire the exact entry we wrote: if a Save replaced it
+		// mid-commit, the newer entry stays queued for the next group.
+		if wb.pending.CompareAndDelete(it.key, it.e) {
+			wb.queued.Add(-1)
+		}
+	}
+	wb.groups.Add(1)
+	wb.mu.Lock()
+	wb.cond.Broadcast()
+	wb.mu.Unlock()
+}
+
+// Flush blocks until every entry queued before the call is on disk.
+// A nil store, or one without write-behind enabled, returns
+// immediately (direct writes are always already durable).
+func (s *Store) Flush() {
+	if s == nil {
+		return
+	}
+	wb := s.wb.Load()
+	if wb == nil {
+		return
+	}
+	wb.mu.Lock()
+	for wb.queued.Load() > 0 {
+		select {
+		case wb.wake <- struct{}{}:
+		default:
+		}
+		wb.cond.Wait()
+	}
+	wb.mu.Unlock()
+}
+
+// Close drains the write-behind queue and stops the committer,
+// returning the store to direct (write-through) Saves. Call it after
+// every Save has returned — a Save racing Close may fall back to a
+// direct write, which is correct but unbatched. Safe on a nil store
+// or one that never enabled write-behind.
+func (s *Store) Close() {
+	if s == nil {
+		return
+	}
+	wb := s.wb.Swap(nil)
+	if wb == nil {
+		return
+	}
+	close(wb.stop)
+	<-wb.done
+}
