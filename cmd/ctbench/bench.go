@@ -34,11 +34,21 @@ type benchSnapshot struct {
 	// off, so they stay comparable with pre-trace snapshots; the trace
 	// walls measure the same serial selection with the engine on —
 	// cold (recording) then warm (every repeatable point replayed).
-	SerialWallMS       float64 `json:"serial_wall_ms"`
-	ParallelWallMS     float64 `json:"parallel_wall_ms"`
-	Workers            int     `json:"parallel_workers"`
-	TraceColdMS        float64 `json:"trace_cold_wall_ms"`
-	TraceWarmMS        float64 `json:"trace_warm_wall_ms"`
+	SerialWallMS   float64 `json:"serial_wall_ms"`
+	ParallelWallMS float64 `json:"parallel_wall_ms"`
+	// Workers is the explicit worker count the parallel and trace
+	// sections ran with. Earlier snapshots let RunAll clamp the section
+	// to GOMAXPROCS, so a quick run on a narrow host silently measured
+	// the serial loop twice (BENCH_pr7.json: parallel == serial); the
+	// bench now raises GOMAXPROCS to Workers for those sections and
+	// restores it after, so the recorded walls always reflect the
+	// recorded worker count.
+	Workers      int     `json:"parallel_workers"`
+	TraceWorkers int     `json:"trace_workers"`
+	TraceColdMS  float64 `json:"trace_cold_wall_ms"`
+	TraceWarmMS  float64 `json:"trace_warm_wall_ms"`
+	// TraceReplaySpeedup compares the trace-off and trace-warm walls at
+	// the same worker count (both sections run with Workers workers).
 	TraceReplaySpeedup float64 `json:"trace_replay_speedup"`
 	TraceRecords       uint64  `json:"trace_records"`
 	TraceReplays       uint64  `json:"trace_warm_replays"`
@@ -58,6 +68,28 @@ type benchSnapshot struct {
 	SharedTraceSweepSpeedup float64 `json:"shared_trace_sweep_speedup"`
 	GeoSweepRecords         uint64  `json:"geosweep_records"`
 	GeoSweepSharedReplays   uint64  `json:"geosweep_shared_replays"`
+	GeoSweepWorkers         int     `json:"geosweep_workers"`
+
+	// Fan-out replay over the same sweep: the warm geosweep with
+	// fan-out enabled (each shared stream decoded once per pass,
+	// charging every geometry per chunk) versus fan-out disabled (the
+	// per-config warm path above, one full decode pass per geometry —
+	// exactly what earlier snapshots measured as geosweep_warm_wall_ms).
+	// Both warm walls are the best of three runs at the same worker
+	// count, so host noise on a quick selection cannot invert the
+	// regimes. FanoutSweepSpeedup follows the sweep-speedup convention
+	// established by shared_trace_sweep_speedup: the untraced sweep wall
+	// over the fan-out warm wall (the whole-machinery win); the
+	// fan-out-vs-per-config regime delta is reported separately as
+	// FanoutVsPerConfigSpeedup. DecodePasses is the per-warm-sweep
+	// decode-pass count under fan-out — one pass per distinct trace key
+	// (shared keys fan out, BIA keys replay per config), not one per
+	// replay served.
+	GeoSweepFanoutWarmMS     float64 `json:"geosweep_fanout_warm_wall_ms"`
+	FanoutSweepSpeedup       float64 `json:"fanout_sweep_speedup"`
+	FanoutVsPerConfigSpeedup float64 `json:"fanout_vs_perconfig_speedup"`
+	GeoSweepFanoutReplays    uint64  `json:"geosweep_fanout_replays"`
+	GeoSweepDecodePasses     uint64  `json:"geosweep_decode_passes"`
 
 	// Machine economy over the serial run.
 	MachinesBuilt  uint64 `json:"machines_built"`
@@ -131,58 +163,93 @@ func writeBenchSnapshot(path string, selected []harness.Experiment, opts harness
 	snap.MachinesBuilt = cpu.MachinesBuilt() - builtBefore
 	snap.MachinesReused = cpu.MachinesReset() - reusedBefore
 
-	// With a single effective worker the "parallel" configuration runs
-	// the exact same plain loop as the serial one (RunAll clamps workers
-	// to GOMAXPROCS and forEachIndexed degenerates at 1), so re-running
-	// it would only measure host noise; reuse the serial measurement.
-	if max := runtime.GOMAXPROCS(0); snap.Workers > max {
-		snap.Workers = max
+	// Parallel and trace sections run with an explicit worker count.
+	// RunAll clamps its workers to GOMAXPROCS, so the bench raises
+	// GOMAXPROCS to the section width for these measurements (restored
+	// after) — otherwise a narrow host re-measures the serial loop and
+	// files it as the parallel wall.
+	benchWorkers := opts.Parallel
+	if benchWorkers <= 1 {
+		benchWorkers = 4
 	}
-	if snap.Workers <= 1 {
-		snap.ParallelWallMS = snap.SerialWallMS
-	} else {
-		start = time.Now()
-		harness.RunAll(selected, harness.Options{Quick: opts.Quick, Parallel: opts.Parallel})
-		snap.ParallelWallMS = float64(time.Since(start).Microseconds()) / 1000
-	}
+	snap.Workers = benchWorkers
+	snap.TraceWorkers = benchWorkers
+	parOpts := harness.Options{Quick: opts.Quick, Parallel: benchWorkers}
+	prevProcs := runtime.GOMAXPROCS(benchWorkers)
+	start = time.Now()
+	harness.RunAll(selected, parOpts)
+	snap.ParallelWallMS = float64(time.Since(start).Microseconds()) / 1000
 
-	// Trace engine on: a cold serial run records every repeatable
-	// point, a second run replays them through the batched interpreter.
+	// Trace engine on: a cold run records every repeatable point, a
+	// second run replays them through the batched interpreter — both at
+	// the parallel section's worker count, so the replay speedup below
+	// compares equal-width walls.
 	harness.SetTraceMode(harness.TraceOn)
 	harness.ResetTraces()
 	start = time.Now()
-	harness.RunAll(selected, serialOpts)
+	harness.RunAll(selected, parOpts)
 	snap.TraceColdMS = float64(time.Since(start).Microseconds()) / 1000
 	snap.TraceRecords, _, _ = harness.TraceStats()
 	start = time.Now()
-	harness.RunAll(selected, serialOpts)
+	harness.RunAll(selected, parOpts)
 	snap.TraceWarmMS = float64(time.Since(start).Microseconds()) / 1000
 	_, snap.TraceReplays, _ = harness.TraceStats()
 	if snap.TraceWarmMS > 0 {
-		snap.TraceReplaySpeedup = snap.SerialWallMS / snap.TraceWarmMS
+		snap.TraceReplaySpeedup = snap.ParallelWallMS / snap.TraceWarmMS
 	}
 	harness.SetTraceMode(harness.TraceOff)
+	runtime.GOMAXPROCS(prevProcs)
 
 	// Shared-trace geometry sweep, isolated to the geosweep experiment
 	// so the off/cold/warm walls measure exactly the sweep the sharing
 	// machinery targets.
 	if geo, err := harness.ByID("geosweep"); err == nil {
 		geoSel := []harness.Experiment{geo}
+		snap.GeoSweepWorkers = 1
+		bestOf := func(n int, run func()) float64 {
+			best := 0.0
+			for i := 0; i < n; i++ {
+				start := time.Now()
+				run()
+				if w := float64(time.Since(start).Microseconds()) / 1000; i == 0 || w < best {
+					best = w
+				}
+			}
+			return best
+		}
 		start = time.Now()
 		harness.RunAll(geoSel, serialOpts)
 		snap.GeoSweepOffMS = float64(time.Since(start).Microseconds()) / 1000
 		harness.SetTraceMode(harness.TraceOn)
 		harness.ResetTraces()
+		// Cold and per-config warm run with fan-out disabled — the exact
+		// regime earlier snapshots measured, so geosweep_warm_wall_ms
+		// stays comparable PR over PR.
+		harness.SetTraceFanout(false)
 		start = time.Now()
 		harness.RunAll(geoSel, serialOpts)
 		snap.GeoSweepColdMS = float64(time.Since(start).Microseconds()) / 1000
 		snap.GeoSweepRecords, _, _ = harness.TraceStats()
-		start = time.Now()
-		harness.RunAll(geoSel, serialOpts)
-		snap.GeoSweepWarmMS = float64(time.Since(start).Microseconds()) / 1000
+		snap.GeoSweepWarmMS = bestOf(3, func() { harness.RunAll(geoSel, serialOpts) })
 		snap.GeoSweepSharedReplays, _ = harness.TraceShareStats()
 		if snap.GeoSweepWarmMS > 0 {
 			snap.SharedTraceSweepSpeedup = snap.GeoSweepOffMS / snap.GeoSweepWarmMS
+		}
+		// Same warm sweep with fan-out enabled: counters from one run
+		// (every warm run performs the same passes), wall from the best
+		// of three.
+		harness.SetTraceFanout(true)
+		_, passesBefore, _ := harness.TraceFanoutStats()
+		harness.RunAll(geoSel, serialOpts)
+		fanouts, passes, _ := harness.TraceFanoutStats()
+		snap.GeoSweepDecodePasses = passes - passesBefore
+		snap.GeoSweepFanoutReplays = fanouts
+		snap.GeoSweepFanoutWarmMS = bestOf(3, func() { harness.RunAll(geoSel, serialOpts) })
+		if snap.GeoSweepFanoutWarmMS > 0 {
+			snap.FanoutSweepSpeedup = snap.GeoSweepOffMS / snap.GeoSweepFanoutWarmMS
+		}
+		if snap.GeoSweepWarmMS > 0 && snap.GeoSweepFanoutWarmMS > 0 {
+			snap.FanoutVsPerConfigSpeedup = snap.GeoSweepWarmMS / snap.GeoSweepFanoutWarmMS
 		}
 		harness.SetTraceMode(harness.TraceOff)
 		harness.ResetTraces()

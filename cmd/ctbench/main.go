@@ -31,6 +31,12 @@
 //	ctbench -tracedir DIR     # persist traces to DIR (default: the
 //	                          # traces/ subdirectory of the cache dir
 //	                          # when -cache rw, else in-memory only)
+//	ctbench -fanout=false     # disable fan-out replay: grouped sweeps
+//	                          # (geosweep) decode the shared stream once
+//	                          # per machine config instead of once per
+//	                          # group. Tables are byte-identical either
+//	                          # way — only wall time and decode-pass
+//	                          # counts move
 //	ctbench -resume           # with -cache rw: consult the manifest
 //	                          # journal from a previous (possibly
 //	                          # crashed or partially failed) run and
@@ -133,6 +139,12 @@ type jsonReport struct {
 	// TraceStaleFormat counts v1-format files transparently re-recorded.
 	TraceSharedReplays uint64 `json:"trace_shared_replays"`
 	TraceStaleFormat   uint64 `json:"trace_stale_format"`
+	// TraceFanoutReplays counts fan-out passes (one per served group);
+	// TraceDecodePasses counts full decode passes over stored streams —
+	// under fan-out, one per distinct trace key touched, not one per
+	// replay served.
+	TraceFanoutReplays uint64 `json:"trace_fanout_replays"`
+	TraceDecodePasses  uint64 `json:"trace_decode_passes"`
 	// Provenance stamps the producing toolchain and configuration so a
 	// result file is self-describing for trajectory tooling.
 	Provenance harness.Provenance `json:"provenance"`
@@ -167,6 +179,7 @@ func main() {
 	cacheMode := flag.String("cache", "off", "result cache mode: off, rw (read+write), ro (read-only) or clear (empty the cache and exit)")
 	cacheDir := flag.String("cachedir", "", "result cache directory (default ~/.cache/ctbia/results)")
 	traceMode := flag.String("trace", "on", "trace-replay engine: on, off or record-only")
+	fanout := flag.Bool("fanout", true, "fan-out trace replay: charge every machine config of a grouped sweep from one decode pass per shared stream (false: serial per-config replay; tables are byte-identical either way)")
 	traceDir := flag.String("tracedir", "", "trace persistence directory (default <cachedir>/traces when -cache rw)")
 	resume := flag.Bool("resume", false, "resume a previous -cache rw run from its manifest journal (re-runs only missing or failed experiments)")
 	manifestBatch := flag.Int("manifest-batch", harness.DefaultManifestBatch, "manifest journal batch: buffered outcomes per commit (1 = commit every record)")
@@ -293,6 +306,7 @@ func main() {
 	store.EnableWriteBehind()
 
 	harness.SetTraceMode(tmode)
+	harness.SetTraceFanout(*fanout)
 	// Persist traces next to the result cache when it is writable, or
 	// wherever -tracedir points; otherwise traces stay in memory.
 	tdir := *traceDir
@@ -422,8 +436,9 @@ func main() {
 	}
 	traceRecs, traceReps, _ := harness.TraceStats()
 	sharedReps, _ := harness.TraceShareStats()
-	fmt.Printf("total: %d experiments, %d machines (%d built, %d reused), %d cache hits, %d traces recorded, %d replayed (%d shared across configs), %v wall (parallel=%d, cache=%s, trace=%s)\n",
-		len(results), built+reused, built, reused, cacheHits, traceRecs, traceReps, sharedReps,
+	fanouts, decodePasses, _ := harness.TraceFanoutStats()
+	fmt.Printf("total: %d experiments, %d machines (%d built, %d reused), %d cache hits, %d traces recorded, %d replayed (%d shared across configs, %d fan-out passes, %d decode passes), %v wall (parallel=%d, cache=%s, trace=%s)\n",
+		len(results), built+reused, built, reused, cacheHits, traceRecs, traceReps, sharedReps, fanouts, decodePasses,
 		wall.Round(time.Millisecond), workers, mode, tmode)
 
 	// Fault accounting: every run reports what it survived, and failures
@@ -487,6 +502,8 @@ func main() {
 			TraceReplays:       traceReps,
 			TraceSharedReplays: sharedReps,
 			TraceStaleFormat:   harness.TraceStaleFormatCount(),
+			TraceFanoutReplays: fanouts,
+			TraceDecodePasses:  decodePasses,
 			Provenance:         harness.NewProvenance(flagLine),
 			Metrics:            obs.Snapshot(),
 		}

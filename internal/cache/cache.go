@@ -120,9 +120,19 @@ type Cache struct {
 	// probes of untouched sets skip the tag scan and fills into full
 	// sets skip the invalid-way scan — both the common case once the
 	// working set exceeds a level.
-	validCnt  []uint16
-	clock     uint64 // monotonic stamp source for LRU/FIFO
-	rng       *rand.Rand
+	validCnt []uint16
+	// mru remembers the way of each set's most recent tag match, probed
+	// before the way scan. It is only ever a search-order hint: the
+	// hinted tag is compared before use and tags are unique within a
+	// set, so a stale or truncated hint degrades to the full scan and
+	// can never change which way a probe resolves to.
+	mru   []uint16
+	clock uint64 // monotonic stamp source for LRU/FIFO
+	rng   *rand.Rand
+	// rngUsed marks that rng consumed values since its last seeding, so
+	// Reset only pays the (expensive) reseed when the state actually
+	// diverged — LRU/FIFO machines never draw and skip it entirely.
+	rngUsed   bool
 	pinnedAll uint64 // count of pinned lines (PLcache comparison)
 
 	// SliceTraffic counts per-slice demand accesses when sliced.
@@ -159,6 +169,7 @@ func NewCache(cfg Config) *Cache {
 		lines:    make([]line, sets*cfg.Ways),
 		tags:     make([]memp.Addr, sets*cfg.Ways),
 		validCnt: make([]uint16, sets),
+		mru:      make([]uint16, sets),
 		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
 	}
 	for i := range c.tags {
@@ -259,8 +270,12 @@ func (c *Cache) findIn(s int, la memp.Addr) int {
 	}
 	base := s * c.cfg.Ways
 	tags := c.tags[base : base+c.cfg.Ways]
+	if h := int(c.mru[s]); h < len(tags) && tags[h] == la {
+		return h
+	}
 	for w := range tags {
 		if tags[w] == la {
+			c.mru[s] = uint16(w)
 			return w
 		}
 	}
@@ -312,6 +327,7 @@ func (c *Cache) victim(s int) int {
 			}
 		}
 		if c.cfg.Policy == Random {
+			c.rngUsed = true
 			return c.rng.Intn(c.cfg.Ways)
 		}
 		ways := c.set(s)
@@ -333,6 +349,7 @@ func (c *Cache) victim(s int) int {
 	switch c.cfg.Policy {
 	case Random:
 		// Try a bounded number of draws to respect pins, then scan.
+		c.rngUsed = true
 		for i := 0; i < 2*len(ways); i++ {
 			w := c.rng.Intn(len(ways))
 			if !ways[w].pinned {
@@ -426,7 +443,8 @@ func (c *Cache) ResetStats() { c.Stats = Stats{} }
 
 // Reset restores the cache to its just-constructed cold state without
 // reallocating: all lines invalid, replacement clock at zero, the
-// Random-policy RNG reseeded, stats cleared. Only sets that currently
+// Random-policy RNG back at its seeded state, stats cleared. Only sets
+// that currently
 // hold a valid line are scrubbed — invalid lines can carry stale
 // stamp/addr values from a previous life, but those fields are only
 // ever consulted for valid lines (find goes through the tag array and
@@ -446,7 +464,10 @@ func (c *Cache) Reset() {
 		c.validCnt[s] = 0
 	}
 	c.clock = 0
-	c.rng.Seed(c.cfg.Seed + 1)
+	if c.rngUsed {
+		c.rng.Seed(c.cfg.Seed + 1)
+		c.rngUsed = false
+	}
 	c.pinnedAll = 0
 	for i := range c.SliceTraffic {
 		c.SliceTraffic[i] = 0

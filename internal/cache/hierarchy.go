@@ -289,6 +289,29 @@ func (h *Hierarchy) demandAccess(start, probe int, la memp.Addr, flags Flags, cy
 // path.
 func (h *Hierarchy) BatchSafe() bool { return !h.wants(EvAccess) }
 
+// lineGroup returns how many of the next rem accesses of a stride walk
+// starting at addr (whose line is la) stay within that cache line —
+// always at least 1. Sub-line strides make these groups long (a
+// stride-8 sweep puts 8 consecutive accesses on every line), and the
+// batch paths below charge a whole group from a single tag probe.
+func lineGroup(addr, la memp.Addr, stride int64, rem int) int {
+	var g int64
+	switch {
+	case stride == 0:
+		return rem
+	case stride >= memp.LineSize || stride <= -memp.LineSize:
+		return 1
+	case stride > 0:
+		g = (int64(la) + memp.LineSize - int64(addr) + stride - 1) / stride
+	default:
+		g = (int64(addr)-int64(la))/(-stride) + 1
+	}
+	if g > int64(rem) {
+		return rem
+	}
+	return int(g)
+}
+
 // AccessBatch performs n demand accesses at base, base+stride, ...,
 // all with the same flags, starting at L1 — semantically identical to n
 // AccessFrom(1, ...) calls, but with the L1 probe inlined and no Result
@@ -300,40 +323,61 @@ func (h *Hierarchy) BatchSafe() bool { return !h.wants(EvAccess) }
 // number of accesses that hit in the L1 (the caller charges those at L1
 // latency or streaming throughput) and the total latency of the
 // remaining accesses.
+//
+// Consecutive accesses that stay on one cache line are charged from a
+// single tag probe: the stats are additive, one LRU touch leaves the
+// same relative stamp order as g consecutive touches of the same way
+// (so victim selection cannot diverge), the dirty edge fires on the
+// group's first write, and the snooped event stream is re-emitted
+// access by access. A miss consumes only its own access — the rest of
+// its line group re-probes next iteration (the fill can be dropped by
+// a pinned-full set), which keeps the event and cycle sequence
+// bit-identical to the scalar loop.
 func (h *Hierarchy) AccessBatch(base memp.Addr, stride int64, n int, flags Flags) (l1Hits, missCycles int) {
 	c := h.levels[0]
 	write := flags&FlagWrite != 0
 	noLRU := flags&FlagNoLRU != 0
 	snoop := h.snoopsAt(1)
 	addr := base
-	for k := 0; k < n; k++ {
+	for k := 0; k < n; {
 		la := addr.Line()
-		c.Stats.Accesses++
 		s := c.SetOf(la)
-		if c.SliceTraffic != nil {
-			c.SliceTraffic[s/c.setsPerSlc]++
+		w := c.findIn(s, la)
+		if w < 0 {
+			c.Stats.Accesses++
+			if c.SliceTraffic != nil {
+				c.SliceTraffic[s/c.setsPerSlc]++
+			}
+			c.Stats.Misses++
+			missCycles += h.demandAccess(1, 2, la, flags, c.cfg.Latency).Cycles
+			k++
+			addr += memp.Addr(stride)
+			continue
 		}
-		if w := c.findIn(s, la); w >= 0 {
-			ln := &c.set(s)[w]
-			c.Stats.Hits++
-			if !noLRU {
-				c.touch(s, w)
-			}
-			if snoop {
+		g := lineGroup(addr, la, stride, n-k)
+		c.Stats.Accesses += uint64(g)
+		if c.SliceTraffic != nil {
+			c.SliceTraffic[s/c.setsPerSlc] += uint64(g)
+		}
+		ln := &c.set(s)[w]
+		c.Stats.Hits += uint64(g)
+		if !noLRU {
+			c.touch(s, w)
+		}
+		if snoop {
+			for j := 0; j < g; j++ {
 				h.emit(Event{Level: 1, Kind: EvHit, Line: la, Set: s, Dirty: ln.dirty})
-			}
-			if write && !ln.dirty {
-				ln.dirty = true
-				if snoop {
+				if write && !ln.dirty {
+					ln.dirty = true
 					h.emit(Event{Level: 1, Kind: EvDirty, Line: la, Set: s})
 				}
 			}
-			l1Hits++
-		} else {
-			c.Stats.Misses++
-			missCycles += h.demandAccess(1, 2, la, flags, c.cfg.Latency).Cycles
+		} else if write {
+			ln.dirty = true
 		}
-		addr += memp.Addr(stride)
+		l1Hits += g
+		k += g
+		addr += memp.Addr(stride * int64(g))
 	}
 	return l1Hits, missCycles
 }
@@ -345,60 +389,85 @@ func (h *Hierarchy) AccessBatch(base memp.Addr, stride int64, n int, flags Flags
 // caller's streaming parity; its cycle sum depends only on the count,
 // not on which of the interleaved accesses hit), and so does the
 // snooped event stream.
+//
+// Same-line pairs coalesce like AccessBatch's groups: one tag probe
+// charges a whole run of resident pairs (a found line cannot leave the
+// set between its own load and store, so the pair hits as a unit),
+// while a pair whose load misses runs scalar — including the store
+// re-probe, because a pinned-full set can drop the fill.
 func (h *Hierarchy) AccessBatchRMW(base memp.Addr, stride int64, n int, flags Flags) (l1Hits, missCycles int) {
 	c := h.levels[0]
 	noLRU := flags&FlagNoLRU != 0
 	snoop := h.snoopsAt(1)
 	addr := base
-	for k := 0; k < n; k++ {
+	for k := 0; k < n; {
 		la := addr.Line()
-		// Load probe.
-		c.Stats.Accesses++
 		s := c.SetOf(la)
-		if c.SliceTraffic != nil {
-			c.SliceTraffic[s/c.setsPerSlc]++
-		}
-		if w := c.findIn(s, la); w >= 0 {
-			c.Stats.Hits++
-			if !noLRU {
-				c.touch(s, w)
+		w := c.findIn(s, la)
+		if w < 0 {
+			// Load probe missed: scalar handling for this one pair.
+			c.Stats.Accesses++
+			if c.SliceTraffic != nil {
+				c.SliceTraffic[s/c.setsPerSlc]++
 			}
-			if snoop {
-				h.emit(Event{Level: 1, Kind: EvHit, Line: la, Set: s, Dirty: c.set(s)[w].dirty})
-			}
-			l1Hits++
-		} else {
 			c.Stats.Misses++
 			missCycles += h.demandAccess(1, 2, la, flags, c.cfg.Latency).Cycles
-		}
-		// Store probe: after the load the line is resident in L1 unless
-		// a pinned-full set dropped the fill, so re-probe rather than
-		// assume.
-		c.Stats.Accesses++
-		if c.SliceTraffic != nil {
-			c.SliceTraffic[s/c.setsPerSlc]++
-		}
-		if w := c.findIn(s, la); w >= 0 {
-			ln := &c.set(s)[w]
-			c.Stats.Hits++
-			if !noLRU {
-				c.touch(s, w)
+			// Store probe: after the load the line is resident in L1
+			// unless a pinned-full set dropped the fill, so re-probe
+			// rather than assume.
+			c.Stats.Accesses++
+			if c.SliceTraffic != nil {
+				c.SliceTraffic[s/c.setsPerSlc]++
 			}
-			if snoop {
-				h.emit(Event{Level: 1, Kind: EvHit, Line: la, Set: s, Dirty: ln.dirty})
-			}
-			if !ln.dirty {
-				ln.dirty = true
+			if w := c.findIn(s, la); w >= 0 {
+				ln := &c.set(s)[w]
+				c.Stats.Hits++
+				if !noLRU {
+					c.touch(s, w)
+				}
 				if snoop {
+					h.emit(Event{Level: 1, Kind: EvHit, Line: la, Set: s, Dirty: ln.dirty})
+				}
+				if !ln.dirty {
+					ln.dirty = true
+					if snoop {
+						h.emit(Event{Level: 1, Kind: EvDirty, Line: la, Set: s})
+					}
+				}
+				l1Hits++
+			} else {
+				c.Stats.Misses++
+				missCycles += h.demandAccess(1, 2, la, flags|FlagWrite, c.cfg.Latency).Cycles
+			}
+			k++
+			addr += memp.Addr(stride)
+			continue
+		}
+		g := lineGroup(addr, la, stride, n-k)
+		c.Stats.Accesses += uint64(2 * g)
+		if c.SliceTraffic != nil {
+			c.SliceTraffic[s/c.setsPerSlc] += uint64(2 * g)
+		}
+		ln := &c.set(s)[w]
+		c.Stats.Hits += uint64(2 * g)
+		if !noLRU {
+			c.touch(s, w)
+		}
+		if snoop {
+			for j := 0; j < g; j++ {
+				h.emit(Event{Level: 1, Kind: EvHit, Line: la, Set: s, Dirty: ln.dirty})
+				h.emit(Event{Level: 1, Kind: EvHit, Line: la, Set: s, Dirty: ln.dirty})
+				if !ln.dirty {
+					ln.dirty = true
 					h.emit(Event{Level: 1, Kind: EvDirty, Line: la, Set: s})
 				}
 			}
-			l1Hits++
 		} else {
-			c.Stats.Misses++
-			missCycles += h.demandAccess(1, 2, la, flags|FlagWrite, c.cfg.Latency).Cycles
+			ln.dirty = true
 		}
-		addr += memp.Addr(stride)
+		l1Hits += 2 * g
+		k += g
+		addr += memp.Addr(stride * int64(g))
 	}
 	return l1Hits, missCycles
 }

@@ -112,6 +112,42 @@ func (m *Machine) ExecTraceReader(r *trace.Reader) error {
 	}
 }
 
+// ExecTraceFanout charges one decoded op slice to every machine in ms,
+// in order. Each machine's replay is independent (ExecTrace touches
+// only the machine it runs on), so fanning out is bit-identical to
+// calling ExecTrace on each machine separately — the point is that the
+// caller decoded the ops exactly once for the whole group.
+func ExecTraceFanout(ms []*Machine, ops []trace.Op) {
+	for _, m := range ms {
+		m.ExecTrace(ops)
+	}
+}
+
+// ExecTraceFanoutReader streams a trace and charges every machine in
+// ms per chunk: each CRC-framed chunk is decoded exactly once, then
+// applied to all machines before the next chunk is read. Chunks are
+// validated (CRC + op kinds) before any machine is charged, so a torn
+// or corrupt chunk surfaces as a typed error with no machine having
+// consumed any part of it — but machines may already have been charged
+// with earlier, intact chunks; callers treat an error as poisoning the
+// whole group. Op records never span chunks and ExecTrace keeps no
+// cross-call state outside the machine, so the fan-out is
+// bit-identical to serial per-machine ExecTraceReader replay.
+func ExecTraceFanoutReader(ms []*Machine, r *trace.Reader) error {
+	for {
+		ops, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		for _, m := range ms {
+			m.ExecTrace(ops)
+		}
+	}
+}
+
 // execPre charges the fused per-iteration ALU pre-ops of a record, in
 // bulk. Bulking is exact: Op/OpStream accounting is additive and the
 // wide-issue slop carry is untouched by accesses, so interleaving order

@@ -1,0 +1,133 @@
+package cpu
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ctbia/internal/trace"
+)
+
+// Fan-out replay equivalence: charging a slice of machines from one
+// decoded stream must be bit-identical to replaying each machine on its
+// own, for every machine kind the harness groups — pure geometries and
+// BIA-attached configs (whose batch path snoops hit/dirty edges).
+
+// fanoutConfigs returns the machine group the fan-out tests charge: the
+// default geometry, an L1-halved variant, an LLC-quartered variant and
+// a BIA-attached machine.
+func fanoutConfigs() []Config {
+	base := noBIAConfig()
+	l1Half := noBIAConfig()
+	l1Half.Levels[0].Size = base.Levels[0].Size / 2
+	llcQuarter := noBIAConfig()
+	llcQuarter.Levels[2].Size = base.Levels[2].Size / 4
+	bia := DefaultConfig()
+	bia.BIALevel = 1
+	return []Config{base, l1Half, llcQuarter, bia}
+}
+
+func TestExecTraceFanoutMatchesSerial(t *testing.T) {
+	ops := recordedSweep(512, false)
+	cfgs := fanoutConfigs()
+
+	serial := make([]Report, len(cfgs))
+	for i, cfg := range cfgs {
+		m := New(cfg)
+		m.ExecTrace(ops)
+		serial[i] = m.Report()
+	}
+
+	ms := make([]*Machine, len(cfgs))
+	for i, cfg := range cfgs {
+		ms[i] = New(cfg)
+	}
+	ExecTraceFanout(ms, ops)
+	for i, m := range ms {
+		if got := m.Report(); got != serial[i] {
+			t.Errorf("config %d: fan-out diverged from serial replay\nwant: %+v\ngot:  %+v", i, serial[i], got)
+		}
+	}
+}
+
+func TestExecTraceFanoutReaderMatchesSerial(t *testing.T) {
+	ops := recordedSweep(3*trace.DefaultChunkOps/2, true)
+	buf := trace.Encode("k", "src", []uint64{1}, nil, ops)
+	cfgs := fanoutConfigs()
+
+	serial := make([]Report, len(cfgs))
+	for i, cfg := range cfgs {
+		rd, err := trace.NewReader(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := New(cfg)
+		if err := m.ExecTraceReader(rd); err != nil {
+			t.Fatalf("config %d: serial streaming replay: %v", i, err)
+		}
+		rd.Release()
+		serial[i] = m.Report()
+	}
+
+	rd, err := trace.NewReader(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := make([]*Machine, len(cfgs))
+	for i, cfg := range cfgs {
+		ms[i] = New(cfg)
+	}
+	if err := ExecTraceFanoutReader(ms, rd); err != nil {
+		t.Fatalf("fan-out streaming replay: %v", err)
+	}
+	rd.Release()
+	for i, m := range ms {
+		if got := m.Report(); got != serial[i] {
+			t.Errorf("config %d: streamed fan-out diverged from serial streamed replay\nwant: %+v\ngot:  %+v", i, serial[i], got)
+		}
+	}
+}
+
+// TestExecTraceFanoutReaderTornChunk pins the failure contract: a torn
+// chunk mid-stream surfaces as ErrCorrupt, and no machine consumes any
+// part of the torn chunk — every machine holds exactly the state a
+// serial streaming replay of the same torn file reaches before its
+// error.
+func TestExecTraceFanoutReaderTornChunk(t *testing.T) {
+	ops := recordedSweep(2*trace.DefaultChunkOps+64, true)
+	buf := trace.Encode("k", "src", []uint64{1}, nil, ops)
+	torn := buf[:len(buf)-9] // rip the tail off the final chunk
+	cfgs := fanoutConfigs()
+
+	serial := make([]Report, len(cfgs))
+	for i, cfg := range cfgs {
+		rd, err := trace.NewReader(bytes.NewReader(torn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := New(cfg)
+		if rerr := m.ExecTraceReader(rd); !errors.Is(rerr, trace.ErrCorrupt) {
+			t.Fatalf("config %d: serial replay of torn stream: got %v, want ErrCorrupt", i, rerr)
+		}
+		rd.Release()
+		serial[i] = m.Report()
+	}
+
+	rd, err := trace.NewReader(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := make([]*Machine, len(cfgs))
+	for i, cfg := range cfgs {
+		ms[i] = New(cfg)
+	}
+	if ferr := ExecTraceFanoutReader(ms, rd); !errors.Is(ferr, trace.ErrCorrupt) {
+		t.Fatalf("fan-out replay of torn stream: got %v, want ErrCorrupt", ferr)
+	}
+	rd.Release()
+	for i, m := range ms {
+		if got := m.Report(); got != serial[i] {
+			t.Errorf("config %d: torn fan-out state diverged from torn serial state\nwant: %+v\ngot:  %+v", i, serial[i], got)
+		}
+	}
+}

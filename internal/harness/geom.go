@@ -79,36 +79,77 @@ func geoSweepWorkloads(quick bool) []struct {
 	}
 }
 
+// runGeoSweep measures the sweep grouped for fan-out: one group per
+// (workload, strategy), each group charging every geometry of the
+// ladder from a single decode pass of the shared stream (the BIA
+// groups key per config inside the group and degrade to per-config
+// replay). The table is assembled geometry-major exactly as the
+// pre-fan-out serial loop produced it, and every report is
+// bit-identical to per-config replay (the equivalence tests pin the
+// rendered bytes), so the grouping changes wall time and decode
+// passes only.
 func runGeoSweep(o Options) *Table {
 	geos := GeoSweepGeometries()
 	wls := geoSweepWorkloads(o.Quick)
 	t := &Table{ID: "geosweep",
 		Title:   "execution-time overhead vs insecure baseline across machine geometries",
 		Headers: []string{"workload/geometry", "L1d BIA", "CT", "CT-avx"}}
-	n := len(geos) * len(wls)
-	rows := make([][]string, n)
-	labels := make([]string, n)
-	errs := forEachIndexed(n, o.Parallel, func(i int) {
-		g := geos[i/len(wls)]
-		wl := wls[i%len(wls)]
-		labels[i] = fmt.Sprintf("%s_%d/%s", shortName(wl.w.Name()), wl.p.Size, g.Name)
-		biaCfg := g.Config
-		biaCfg.BIALevel = 1
-		ins := RunWorkloadOn(g.Config, wl.w, wl.p, ct.Direct{})
-		bia := RunWorkloadOn(biaCfg, wl.w, wl.p, ct.BIA{})
-		lin := RunWorkloadOn(g.Config, wl.w, wl.p, ct.Linear{})
-		avx := RunWorkloadOn(g.Config, wl.w, wl.p, ct.LinearVec{})
-		rows[i] = []string{labels[i],
-			ratio(bia.Cycles, ins.Cycles),
-			ratio(lin.Cycles, ins.Cycles),
-			ratio(avx.Cycles, ins.Cycles)}
+	strats := []struct {
+		s   ct.Strategy
+		bia bool
+	}{
+		{ct.Direct{}, false},
+		{ct.BIA{}, true},
+		{ct.Linear{}, false},
+		{ct.LinearVec{}, false},
+	}
+	pureCfgs := make([]cpu.Config, len(geos))
+	biaCfgs := make([]cpu.Config, len(geos))
+	for i, g := range geos {
+		pureCfgs[i] = g.Config
+		biaCfgs[i] = g.Config
+		biaCfgs[i].BIALevel = 1
+	}
+	// reports[wi*len(strats)+si][gi] = that workload x strategy group's
+	// report under geometry gi.
+	nGroups := len(wls) * len(strats)
+	reports := make([][]cpu.Report, nGroups)
+	errs := forEachIndexed(nGroups, o.Parallel, func(gi int) {
+		wl := wls[gi/len(strats)]
+		st := strats[gi%len(strats)]
+		cfgs := pureCfgs
+		if st.bia {
+			cfgs = biaCfgs
+		}
+		reports[gi] = RunWorkloadFanout(cfgs, wl.w, wl.p, st.s)
 	})
-	for i, row := range rows {
-		if errs != nil && errs[i] != nil {
-			t.Fail(labels[i], errs[i])
+	for i := 0; i < len(geos)*len(wls); i++ {
+		gi, wi := i/len(wls), i%len(wls)
+		g, wl := geos[gi], wls[wi]
+		label := fmt.Sprintf("%s_%d/%s", shortName(wl.w.Name()), wl.p.Size, g.Name)
+		var pe *PointError
+		if errs != nil {
+			// A failed strategy group loses its reports for every
+			// geometry, so all of this workload's rows fail together.
+			for si := range strats {
+				if e := errs[wi*len(strats)+si]; e != nil {
+					pe = e
+					break
+				}
+			}
+		}
+		if pe != nil {
+			t.Fail(label, pe)
 			continue
 		}
-		t.AddRow(row...)
+		ins := reports[wi*len(strats)+0][gi]
+		bia := reports[wi*len(strats)+1][gi]
+		lin := reports[wi*len(strats)+2][gi]
+		avx := reports[wi*len(strats)+3][gi]
+		t.AddRow(label,
+			ratio(bia.Cycles, ins.Cycles),
+			ratio(lin.Cycles, ins.Cycles),
+			ratio(avx.Cycles, ins.Cycles))
 	}
 	return t
 }

@@ -53,6 +53,10 @@ func emitTraceMetrics(emit func(name string, v uint64)) {
 	emit("trace.shared_replays", shared)
 	emit("trace.bytes_shared_avoided", avoided)
 	emit("trace.stale_format", TraceStaleFormatCount())
+	fanouts, passes, decodeAvoided := TraceFanoutStats()
+	emit("trace.fanout_replays", fanouts)
+	emit("trace.decode_passes", passes)
+	emit("trace.decode_bytes_avoided", decodeAvoided)
 }
 
 // harvestPlans caches, per machine pool, the interned metric IDs of

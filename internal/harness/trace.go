@@ -184,6 +184,18 @@ var (
 	traceBytesSharedAvoided atomic.Uint64
 	// traceStaleFormatCount counts pre-v2 files found (and removed).
 	traceStaleFormatCount atomic.Uint64
+	// traceFanoutReplays counts fan-out passes: one stored stream
+	// decoded once and charged to a whole group of machine geometries.
+	traceFanoutReplays atomic.Uint64
+	// traceDecodePasses counts full iterations of a stored stream
+	// during replay — per-config replay adds one per served point,
+	// a fan-out pass adds one however many machines it charges. The
+	// sweep win is this staying at the shared-key count, not the
+	// point count.
+	traceDecodePasses atomic.Uint64
+	// traceDecodeBytesAvoided accounts the wire bytes fan-out did not
+	// re-decode: (machines-1) x stream size per fan-out pass.
+	traceDecodeBytesAvoided atomic.Uint64
 )
 
 // Retry policy for transient trace-layer failures: capped exponential
@@ -246,6 +258,9 @@ func ResetTraces() {
 	traceSharedReplays.Store(0)
 	traceBytesSharedAvoided.Store(0)
 	traceStaleFormatCount.Store(0)
+	traceFanoutReplays.Store(0)
+	traceDecodePasses.Store(0)
+	traceDecodeBytesAvoided.Store(0)
 }
 
 // TraceStats returns the engine's counters since the last ResetTraces:
@@ -260,6 +275,14 @@ func TraceStats() (records, replays, rerecords uint64) {
 // machine config, and the recording wire bytes those replays avoided.
 func TraceShareStats() (sharedReplays, bytesAvoided uint64) {
 	return traceSharedReplays.Load(), traceBytesSharedAvoided.Load()
+}
+
+// TraceFanoutStats returns the fan-out counters since the last
+// ResetTraces: fan-out passes served, full decode passes over stored
+// streams (per-config and fan-out alike), and the wire bytes fan-out
+// avoided re-decoding.
+func TraceFanoutStats() (fanoutReplays, decodePasses, bytesAvoided uint64) {
+	return traceFanoutReplays.Load(), traceDecodePasses.Load(), traceDecodeBytesAvoided.Load()
 }
 
 // TraceFaultStats returns the fault-tolerance counters since the last
@@ -504,9 +527,11 @@ func lookupTrace(key, label string) *traceEntry {
 		return nil
 	}
 	if rd.Key() != key || len(rd.Meta()) != 1 {
+		rd.Release()
 		return nil
 	}
 	e = &traceEntry{file: path, nops: rd.NumOps(), sum: rd.Meta()[0], src: rd.Src(), reps: repsFromTags(rd.Tags())}
+	rd.Release()
 	memoTrace(key, e)
 	return e
 }
@@ -674,6 +699,7 @@ func replayTrace(pool *cpu.Pool, key, label string, e *traceEntry, cfgFP string,
 			return r, false, nil
 		}
 		serr := m.ExecTraceReader(rd)
+		rd.Release()
 		f.Close()
 		if serr != nil {
 			// Mid-stream corruption: the machine executed a partial
@@ -743,6 +769,7 @@ func tryReplay(pool *cpu.Pool, key, label, cfgFP string, ref func() uint64) (cpu
 	rsp.End()
 	if ok {
 		traceReplays.Add(1)
+		traceDecodePasses.Add(1)
 		bytes := entryWireBytes(key, e)
 		traceBytesReplayed.Add(bytes)
 		if e.src != "" && e.src != cfgFP {

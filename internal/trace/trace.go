@@ -35,6 +35,7 @@ import (
 	"hash/crc32"
 	"io"
 	"sort"
+	"sync"
 )
 
 // Kind discriminates trace operations.
@@ -599,7 +600,10 @@ func Encode(key, src string, meta []uint64, tags map[string][]uint64, ops []Op) 
 // the header, Next hands out one chunk of ops at a time. Memory stays
 // bounded by the chunk size however large the trace is, and the chunk
 // buffers are reused, so a replay loop driving Next allocates nothing
-// after construction.
+// after construction. The buffers themselves come from a package-wide
+// pool (they are ~300 KiB per Reader at the default chunk geometry);
+// call Release when done with a Reader so a warm replay loop stops
+// allocating them per open.
 type Reader struct {
 	r         io.Reader
 	key, src  string
@@ -608,10 +612,28 @@ type Reader struct {
 	opCount   uint64
 	remaining uint64
 	chunkCap  int
+	bufs      *readerBufs
 	buf       []byte // wire bytes of one chunk (+ its CRC)
 	ops       []Op   // decoded chunk, reused across Next calls
 	err       error  // sticky
 }
+
+// readerBufs is one Reader's reusable chunk storage: the wire bytes of
+// one chunk (+ CRC) and its decoded ops.
+type readerBufs struct {
+	buf []byte
+	ops []Op
+}
+
+// readerBufPool recycles chunk buffers across Readers. Entries grow to
+// the largest chunk geometry they have served; the default geometry is
+// uniform (Encode always frames at DefaultChunkOps), so in practice
+// every entry stabilizes at ~300 KiB and a warm streaming replay
+// allocates no chunk storage at all.
+var readerBufPool = sync.Pool{New: func() any { return new(readerBufs) }}
+
+// errReleased guards use-after-Release.
+var errReleased = errors.New("trace: reader used after Release")
 
 // NewReader reads and validates a v2 trace header from r. A v1 file
 // fails with ErrVersion; structural damage with ErrCorrupt. The op
@@ -722,9 +744,38 @@ func NewReader(r io.Reader) (*Reader, error) {
 	}
 	d.chunkCap = int(cc)
 	d.remaining = d.opCount
-	d.buf = make([]byte, d.chunkCap*opWireSize+4)
-	d.ops = make([]Op, d.chunkCap)
+	rb := readerBufPool.Get().(*readerBufs)
+	need := d.chunkCap*opWireSize + 4
+	if cap(rb.buf) < need {
+		rb.buf = make([]byte, need)
+	}
+	if cap(rb.ops) < d.chunkCap {
+		rb.ops = make([]Op, d.chunkCap)
+	}
+	d.bufs = rb
+	d.buf = rb.buf[:need]
+	d.ops = rb.ops[:d.chunkCap]
 	return d, nil
+}
+
+// Release returns the Reader's chunk buffers to the package pool. The
+// Reader is unusable afterwards: Next reports a sticky error, and any
+// chunk slice previously handed out must no longer be read. Release is
+// idempotent; callers that drained the stream (or abandoned it on
+// error) should Release so warm replay loops reuse buffers instead of
+// allocating ~300 KiB per open.
+func (d *Reader) Release() {
+	if d.bufs == nil {
+		return
+	}
+	rb := d.bufs
+	d.bufs = nil
+	d.buf = nil
+	d.ops = nil
+	if d.err == nil {
+		d.err = errReleased
+	}
+	readerBufPool.Put(rb)
 }
 
 // Key returns the identity string embedded in the trace.
@@ -794,6 +845,7 @@ func Decode(buf []byte) (key, src string, meta []uint64, tags map[string][]uint6
 	if err != nil {
 		return "", "", nil, nil, nil, err
 	}
+	defer d.Release()
 	if d.opCount > uint64(len(buf))/opWireSize {
 		return "", "", nil, nil, nil, ErrCorrupt
 	}
