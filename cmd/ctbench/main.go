@@ -71,12 +71,35 @@
 //	                          # runs: /metrics (Prometheus text),
 //	                          # /metrics.json, /progress, /debug/vars
 //	                          # (expvar) and /debug/pprof
+//	ctbench -serve :9090      # coordinate a distributed sweep: shard
+//	                          # the selected experiments into leased
+//	                          # work units served over HTTP/JSON (plus
+//	                          # the introspection endpoints above) and
+//	                          # merge worker results; falls back to
+//	                          # in-process execution if no worker joins
+//	                          # (or all of them die), so the sweep
+//	                          # always finishes. Composes with -cache,
+//	                          # -resume and -json exactly like a local
+//	                          # run
+//	ctbench -worker URL       # join the coordinator at URL, lease work
+//	                          # units, execute them and upload tables
+//	                          # until the sweep is done. -quick is
+//	                          # dictated by the coordinator; -cache/
+//	                          # -json/-exp do not apply
+//	ctbench -fleet-lease-ms N # coordinator: per-unit execution
+//	                          # deadline before a lease re-queues
+//	                          # (default 60000)
+//	ctbench -fleet-joinwait-ms N
+//	                          # coordinator: how long to wait for a
+//	                          # first worker before draining the sweep
+//	                          # in-process (default 3000)
 //	ctbench -progress         # print a progress line with ETA to stderr
 //	                          # every few seconds (long sweeps)
 //	ctbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -89,6 +112,7 @@ import (
 
 	"ctbia/internal/cpu"
 	"ctbia/internal/faultinject"
+	"ctbia/internal/fleet"
 	"ctbia/internal/harness"
 	"ctbia/internal/obs"
 	"ctbia/internal/resultcache"
@@ -150,7 +174,10 @@ type jsonReport struct {
 	Provenance harness.Provenance `json:"provenance"`
 	// Metrics is the run-level observability snapshot (superset of the
 	// per-experiment deltas; exact at every worker count).
-	Metrics     map[string]uint64 `json:"metrics,omitempty"`
+	Metrics map[string]uint64 `json:"metrics,omitempty"`
+	// Fleet is the distributed-sweep accounting (leases, heartbeats,
+	// dedup hits, fallback units) — present only under -serve.
+	Fleet       map[string]uint64 `json:"fleet,omitempty"`
 	Experiments []jsonExperiment  `json:"experiments"`
 }
 
@@ -189,6 +216,10 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "run the perf snapshot suite and write it to this file")
 	timelineOut := flag.String("timeline", "", "write a Chrome trace-event timeline of harness phases to this file (open in Perfetto or chrome://tracing)")
 	listen := flag.String("listen", "", "serve live introspection on this address during the run (/metrics, /metrics.json, /progress, /debug/vars, /debug/pprof)")
+	serve := flag.String("serve", "", "coordinate a distributed sweep on this address: shard experiments into leased work units for -worker processes, merging their tables (falls back to in-process execution if no worker joins)")
+	workerURL := flag.String("worker", "", "join the fleet coordinator at this URL, lease work units and upload results until the sweep is done")
+	fleetLeaseMS := flag.Int("fleet-lease-ms", 60000, "coordinator: per-unit execution deadline in milliseconds before a lease re-queues")
+	fleetJoinWaitMS := flag.Int("fleet-joinwait-ms", 3000, "coordinator: milliseconds to wait for a first worker before draining the sweep in-process")
 	progress := flag.Bool("progress", false, "print a progress line with ETA to stderr during the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -228,6 +259,34 @@ func main() {
 	// sweep must only start once every knob is known-good.
 	if *parallel < 0 {
 		usageErr("-parallel %d: worker count cannot be negative", *parallel)
+	}
+	if *serve != "" && *workerURL != "" {
+		usageErr("-serve and -worker are mutually exclusive: a process coordinates or executes, not both")
+	}
+	if *fleetLeaseMS < 1 {
+		usageErr("-fleet-lease-ms %d: need a positive lease deadline", *fleetLeaseMS)
+	}
+	if *fleetJoinWaitMS < 1 {
+		usageErr("-fleet-joinwait-ms %d: need a positive join deadline", *fleetJoinWaitMS)
+	}
+	if *serve != "" && *benchJSON != "" {
+		usageErr("-serve and -benchjson are mutually exclusive: the perf snapshot is a local measurement")
+	}
+	if *workerURL != "" {
+		// A worker executes what it is told and uploads; selection,
+		// caching, journaling and reporting all live on the coordinator.
+		if *exp != "all" {
+			usageErr("-worker ignores -exp: the coordinator decides what runs")
+		}
+		if *cacheMode != "off" {
+			usageErr("-worker does not take -cache: the coordinator owns the result cache")
+		}
+		if *resume {
+			usageErr("-worker does not take -resume: resuming happens on the coordinator")
+		}
+		if *jsonOut != "" || *benchJSON != "" {
+			usageErr("-worker does not produce reports: run -json on the coordinator")
+		}
 	}
 	if err := cpu.DefaultConfig().Validate(); err != nil {
 		// Can only trip if the default machine config is edited into an
@@ -336,12 +395,15 @@ func main() {
 		timelineFile = f
 		obs.EnableTimeline()
 	}
+	var listenSrv *obs.Server
 	if *listen != "" {
-		addr, err := obs.Serve(*listen)
+		srv, err := obs.Serve(*listen)
 		if err != nil {
 			usageErr("-listen: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "ctbench: live introspection on http://%s/metrics (also /metrics.json, /progress, /debug/vars, /debug/pprof)\n", addr)
+		listenSrv = srv
+		defer listenSrv.Close()
+		fmt.Fprintf(os.Stderr, "ctbench: live introspection on http://%s/metrics (also /metrics.json, /progress, /debug/vars, /debug/pprof)\n", srv.Addr())
 	}
 	stopProgress := func() {}
 	if *progress {
@@ -406,6 +468,24 @@ func main() {
 
 	opts := harness.Options{Quick: *quick, Parallel: workers, Cache: store, Manifest: manifest}
 
+	// Worker mode: lease units from the coordinator, execute, upload,
+	// repeat until the sweep is done. The coordinator owns selection,
+	// scale, cache and journal; this process only simulates.
+	if *workerURL != "" {
+		w := fleet.NewWorker(fleet.WorkerConfig{
+			URL:  *workerURL,
+			Opts: harness.Options{Parallel: workers},
+			Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		})
+		fmt.Fprintf(os.Stderr, "ctbench: worker %s joining %s\n", w.ID(), *workerURL)
+		n, err := w.Run(context.Background())
+		if err != nil {
+			fatal(fmt.Errorf("worker %s: %w (%d units completed)", w.ID(), err, n))
+		}
+		fmt.Printf("ctbench: worker %s done: %d units completed\n", w.ID(), n)
+		return
+	}
+
 	if *benchJSON != "" {
 		if err := writeBenchSnapshot(*benchJSON, selected, opts); err != nil {
 			fatal(err)
@@ -415,7 +495,31 @@ func main() {
 
 	start := time.Now()
 	builtBefore, reusedBefore := cpu.MachinesBuilt(), cpu.MachinesReset()
-	results := harness.RunAll(selected, opts)
+	var results []harness.Result
+	var fleetStats *fleet.Stats
+	if *serve != "" {
+		// Coordinator mode: same sweep, same sinks, same output — the
+		// execution just happens wherever workers are (or in-process,
+		// if none show up).
+		co, err := fleet.NewCoordinator(fleet.Config{
+			Addr:     *serve,
+			LeaseTTL: time.Duration(*fleetLeaseMS) * time.Millisecond,
+			JoinWait: time.Duration(*fleetJoinWaitMS) * time.Millisecond,
+		}, selected, opts)
+		if err != nil {
+			usageErr("-serve: %v", err)
+		}
+		fleetStats = co.Stats()
+		obs.RegisterSource(fleetStats.EmitMetrics)
+		fmt.Fprintf(os.Stderr, "ctbench: coordinating fleet on http://%s/fleet/ (join with: ctbench -worker %s)\n",
+			co.Addr(), co.Addr())
+		results, err = co.Run(context.Background())
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		results = harness.RunAll(selected, opts)
+	}
 	wall := time.Since(start)
 	stopProgress()
 	built := cpu.MachinesBuilt() - builtBefore
@@ -440,6 +544,12 @@ func main() {
 	fmt.Printf("total: %d experiments, %d machines (%d built, %d reused), %d cache hits, %d traces recorded, %d replayed (%d shared across configs, %d fan-out passes, %d decode passes), %v wall (parallel=%d, cache=%s, trace=%s)\n",
 		len(results), built+reused, built, reused, cacheHits, traceRecs, traceReps, sharedReps, fanouts, decodePasses,
 		wall.Round(time.Millisecond), workers, mode, tmode)
+	if fleetStats != nil {
+		s := fleetStats.Map()
+		fmt.Printf("fleet: %d workers joined (%d lost), %d leases granted (%d expired, %d requeued), %d results accepted (%d dup, %d malformed), %d run locally, %d cached\n",
+			s["worker_joins"], s["worker_losses"], s["leases_granted"], s["leases_expired"], s["leases_requeued"],
+			s["results_accepted"], s["dedup_hits"], s["results_malformed"], s["local_units"], s["cached_units"])
+	}
 
 	// Fault accounting: every run reports what it survived, and failures
 	// flip the exit code — but only after every surviving table, profile
@@ -506,6 +616,9 @@ func main() {
 			TraceDecodePasses:  decodePasses,
 			Provenance:         harness.NewProvenance(flagLine),
 			Metrics:            obs.Snapshot(),
+		}
+		if fleetStats != nil {
+			report.Fleet = fleetStats.Map()
 		}
 		for _, r := range results {
 			je := jsonExperiment{

@@ -51,12 +51,13 @@ func main() {
 		obs.Arm()
 	}
 	if *listen != "" {
-		addr, err := obs.Serve(*listen)
+		srv, err := obs.Serve(*listen)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ctsec: -listen: %v\n", err)
 			os.Exit(2)
 		}
-		fmt.Fprintf(os.Stderr, "ctsec: live introspection on http://%s/metrics\n", addr)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ctsec: live introspection on http://%s/metrics\n", srv.Addr())
 	}
 
 	fmt.Println("== Fig. 10: per-cache-set access counts (histogram) ==")

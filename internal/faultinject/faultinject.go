@@ -25,6 +25,14 @@
 //	cache.write    fail writing a result-cache entry
 //	cache.corrupt  corrupt a result-cache entry's bytes on read
 //
+// Network-shaped points for the distributed sweep fleet (keyed by the
+// fleet worker's id or the experiment id it is executing):
+//
+//	fleet.heartbeat.drop  drop a worker heartbeat on the floor
+//	fleet.result.torn     tear a result upload mid-body
+//	fleet.worker.stall    stall a worker past its lease deadline
+//	fleet.worker.kill     kill a worker mid-unit (no submission, ever)
+//
 // Example: CTBIA_FAULTS='seed=7;trace.corrupt@2;worker.panic@1:fig7a'
 // corrupts the second trace file read and panics the fig7a worker, both
 // reproducibly.
@@ -67,6 +75,11 @@ var knownPoints = map[string]bool{
 	"cache.read":    true,
 	"cache.write":   true,
 	"cache.corrupt": true,
+
+	"fleet.heartbeat.drop": true,
+	"fleet.result.torn":    true,
+	"fleet.worker.stall":   true,
+	"fleet.worker.kill":    true,
 }
 
 // rule is one armed clause. hits counts matching probes so @N clauses

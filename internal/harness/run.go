@@ -360,7 +360,7 @@ func RunAll(exps []Experiment, o Options) []Result {
 			hit := o.Cache.Load(key, &cached)
 			lsp.End()
 			if hit {
-				if tableUsable(&cached, id) {
+				if cached.UsableFor(id) {
 					wall := time.Since(start)
 					metrics := obsDelta(obsBefore)
 					results[i] = Result{
@@ -441,13 +441,13 @@ func RunAll(exps []Experiment, o Options) []Result {
 	return results
 }
 
-// tableUsable validates a cache-loaded table before serving it: the
-// stored JSON may decode cleanly yet be garbage (a `null` body yields a
-// zero table, a doctored entry can carry the wrong experiment). Such an
-// entry is quarantined and recomputed — a corrupted cache must cost a
-// recompute, never a wrong table.
-func tableUsable(t *Table, id string) bool {
-	if t.ID != id || len(t.Headers) == 0 {
+// UsableFor validates a deserialized table before serving it as
+// experiment id's result: JSON from the result cache or a fleet
+// worker's upload may decode cleanly yet be garbage (a `null` body
+// yields a zero table, a doctored entry can carry the wrong
+// experiment). Such a table must cost a recompute, never be served.
+func (t *Table) UsableFor(id string) bool {
+	if t == nil || t.ID != id || len(t.Headers) == 0 {
 		return false
 	}
 	for _, row := range t.Rows {
@@ -456,4 +456,34 @@ func tableUsable(t *Table, id string) bool {
 		}
 	}
 	return true
+}
+
+// RunOne executes a single experiment with the same panic isolation as
+// a RunAll worker, but no cache or manifest interaction — the
+// execution primitive behind the fleet's work units (a remote worker
+// runs RunOne and uploads the Result; the coordinator owns cache and
+// journal). An experiment-level panic comes back as a FAILED
+// placeholder Result, exactly like RunAll produces.
+func RunOne(e Experiment, o Options) (res Result) {
+	start := time.Now()
+	sp := obs.StartSpan("experiment", e.ID)
+	defer sp.End()
+	obsBefore := obsSnapshot()
+	defer func() {
+		if rec := recover(); rec != nil {
+			pe := toPointError(rec)
+			pe.Experiment = e.ID
+			res = Result{Experiment: e, Table: failedTable(e, pe), Err: pe, Wall: time.Since(start)}
+		}
+	}()
+	faultinject.Check("worker.panic", e.ID, false)
+	before := machineUses()
+	table := e.Run(o)
+	return Result{
+		Experiment: e,
+		Table:      table,
+		Wall:       time.Since(start),
+		Machines:   machineUses() - before,
+		Metrics:    obsDelta(obsBefore),
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"ctbia/internal/faultinject"
 	"ctbia/internal/obs"
 	"ctbia/internal/resultcache"
+	"ctbia/internal/retry"
 	"ctbia/internal/trace"
 	"ctbia/internal/workloads"
 )
@@ -199,9 +200,10 @@ var (
 )
 
 // Retry policy for transient trace-layer failures: capped exponential
-// backoff before each degraded (direct-simulation) retry, quarantine
-// after quarantineAfter transient failures of the same key. The backoff
-// base is a variable so chaos tests can zero it.
+// backoff (internal/retry, shared with the fleet worker's reconnect
+// and upload paths) before each degraded (direct-simulation) retry,
+// quarantine after quarantineAfter transient failures of the same key.
+// The backoff base is a variable so chaos tests can zero it.
 var (
 	retryBackoffBase = 2 * time.Millisecond
 	retryBackoffCap  = 50 * time.Millisecond
@@ -359,12 +361,8 @@ func noteTransient(key, label string, err error) {
 	if traceDebug {
 		fmt.Fprintf(os.Stderr, "TRACEDBG transient %s (failure %d): %v\n", label, n, err)
 	}
-	backoff := retryBackoffBase << (n - 1)
-	if backoff > retryBackoffCap || backoff <= 0 {
-		backoff = retryBackoffCap
-	}
-	if retryBackoffBase > 0 {
-		time.Sleep(backoff)
+	if d := (retry.Policy{Base: retryBackoffBase, Cap: retryBackoffCap}).Backoff(n); d > 0 {
+		time.Sleep(d)
 	}
 }
 

@@ -1,49 +1,152 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // side effect: /debug/pprof on DefaultServeMux
+	"net/http/pprof"
 	"sync"
+	"time"
 )
 
-// Serve starts the live-introspection endpoint on addr and returns the
-// bound address (useful with ":0"). The handler set is the process
-// default mux, which net/http/pprof already populates; on top of that
-// this package mounts:
+// Server is the live-introspection HTTP endpoint with a real
+// lifecycle: it owns its listener and mux (so two servers in one
+// process — or one per test — never fight over the global
+// DefaultServeMux), and Close shuts it down gracefully instead of
+// leaking the listener for the process lifetime. The mounted handler
+// set:
 //
 //	/metrics       Prometheus text exposition of the registry
 //	/metrics.json  the same snapshot as a sorted JSON object
 //	/progress      the current sweep progress line
 //	/debug/vars    expvar, including ctbia_metrics (the live snapshot)
+//	/debug/pprof/  the standard pprof index, profile, symbol, trace
 //
-// The server runs until the process exits; long sweeps are the use
-// case and ctbench's lifetime is the sweep's.
-func Serve(addr string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", err
-	}
-	mountOnce.Do(mountHandlers)
-	go func() { _ = http.Serve(ln, nil) }()
-	return ln.Addr().String(), nil
+// Additional handlers (the fleet coordinator's /fleet/* protocol)
+// mount via Handle/HandleFunc before Start.
+type Server struct {
+	ln  net.Listener
+	mux *http.ServeMux
+	srv *http.Server
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
 }
 
-var mountOnce sync.Once
+// NewServer binds addr (":0" picks a free port) and mounts the
+// introspection handlers, but does not serve yet — mount extra
+// handlers, then Start.
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mountHandlers(mux)
+	s := &Server{ln: ln, mux: mux}
+	s.srv = &http.Server{Handler: mux}
+	return s, nil
+}
 
-func mountHandlers() {
-	expvar.Publish("ctbia_metrics", expvar.Func(func() any { return Snapshot() }))
-	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+// Serve is NewServer + Start: the one-call path the CLIs use for a
+// fire-and-forget endpoint. The caller should still Close it on the
+// way out; pre-lifecycle code that forgets only leaks until process
+// exit, exactly as before.
+func Serve(addr string) (*Server, error) {
+	s, err := NewServer(addr)
+	if err != nil {
+		return nil, err
+	}
+	s.Start()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Handle mounts an extra handler on the server's private mux. Mount
+// everything before Start; ServeMux registration is not synchronized
+// with serving.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// HandleFunc is Handle for plain functions.
+func (s *Server) HandleFunc(pattern string, h func(http.ResponseWriter, *http.Request)) {
+	s.mux.HandleFunc(pattern, h)
+}
+
+// Start begins serving in a background goroutine. Idempotent.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
+		return
+	}
+	s.started = true
+	go func() { _ = s.srv.Serve(s.ln) }()
+}
+
+// Close shuts the server down gracefully, waiting briefly for in-flight
+// requests before tearing the listener down. Idempotent; safe on nil.
+func (s *Server) Close() error {
+	return s.Shutdown(context.Background())
+}
+
+// Shutdown is Close with the caller's context bounding the graceful
+// drain (a done context falls through to a hard close). Idempotent;
+// safe on nil.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	started := s.started
+	s.mu.Unlock()
+	if !started {
+		return s.ln.Close()
+	}
+	// Bound the drain so Close never hangs on a stuck client; the
+	// introspection handlers are all sub-millisecond.
+	dctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(dctx)
+	if err != nil {
+		_ = s.srv.Close()
+	}
+	return err
+}
+
+// publishOnce guards the process-global expvar registration — expvar
+// panics on duplicate Publish, and every Server shares the one metrics
+// registry anyway.
+var publishOnce sync.Once
+
+func mountHandlers(mux *http.ServeMux) {
+	publishOnce.Do(func() {
+		expvar.Publish("ctbia_metrics", expvar.Func(func() any { return Snapshot() }))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WritePrometheus(w)
 	})
-	http.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = WriteJSON(w)
 	})
-	http.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte(progressLine() + "\n"))
 	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }

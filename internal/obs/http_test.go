@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerServesAndShutsDown(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	base := "http://" + s.Addr()
+	for _, path := range []string{"/metrics", "/metrics.json", "/progress", "/debug/vars"} {
+		code, _ := get(t, base+path)
+		if code != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, code)
+		}
+	}
+	_, body := get(t, base+"/debug/vars")
+	if !strings.Contains(body, "ctbia_metrics") {
+		t.Errorf("/debug/vars missing ctbia_metrics")
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The listener must actually be released: a fresh dial fails and
+	// the port is immediately rebindable.
+	if _, err := net.DialTimeout("tcp", s.Addr(), 200*time.Millisecond); err == nil {
+		t.Fatal("dial succeeded after Close")
+	}
+	ln, err := net.Listen("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("port not released after Close: %v", err)
+	}
+	ln.Close()
+	// Close is idempotent.
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+}
+
+func TestServerExtraHandlersAndIsolation(t *testing.T) {
+	// Two servers in one process with different extra handlers: their
+	// muxes must not interfere (the pre-lifecycle implementation hung
+	// everything off DefaultServeMux, where a second registration of
+	// the same pattern panics).
+	a, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer a: %v", err)
+	}
+	defer a.Close()
+	a.HandleFunc("/who", func(w http.ResponseWriter, r *http.Request) { fmt.Fprint(w, "a") })
+	a.Start()
+	b, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer b: %v", err)
+	}
+	defer b.Close()
+	b.HandleFunc("/who", func(w http.ResponseWriter, r *http.Request) { fmt.Fprint(w, "b") })
+	b.Start()
+
+	if _, body := get(t, "http://"+a.Addr()+"/who"); body != "a" {
+		t.Errorf("server a /who = %q", body)
+	}
+	if _, body := get(t, "http://"+b.Addr()+"/who"); body != "b" {
+		t.Errorf("server b /who = %q", body)
+	}
+	// Closing one leaves the other serving.
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close a: %v", err)
+	}
+	if code, _ := get(t, "http://"+b.Addr()+"/metrics"); code != http.StatusOK {
+		t.Errorf("server b dead after closing a: status %d", code)
+	}
+}

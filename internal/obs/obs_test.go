@@ -192,12 +192,13 @@ func TestServeEndpoints(t *testing.T) {
 	reset()
 	Arm()
 	Add("serve.test", 1)
-	addr, err := Serve("127.0.0.1:0")
+	srv, err := Serve("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
 	get := func(path string) string {
-		resp, err := http.Get("http://" + addr + path)
+		resp, err := http.Get("http://" + srv.Addr() + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
 		}

@@ -1,0 +1,143 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestBackoffCappedExponential(t *testing.T) {
+	p := Policy{Base: 2 * time.Millisecond, Cap: 50 * time.Millisecond}
+	want := []time.Duration{
+		2 * time.Millisecond,  // n=1
+		4 * time.Millisecond,  // n=2
+		8 * time.Millisecond,  // n=3
+		16 * time.Millisecond, // n=4
+		32 * time.Millisecond, // n=5
+		50 * time.Millisecond, // n=6 (capped)
+		50 * time.Millisecond, // n=7 (stays capped)
+	}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Very large n must not overflow into a negative duration.
+	if got := p.Backoff(500); got != 50*time.Millisecond {
+		t.Errorf("Backoff(500) = %v, want cap", got)
+	}
+}
+
+func TestBackoffZeroBaseDisablesSleep(t *testing.T) {
+	p := Policy{Base: 0, Cap: time.Second, Jitter: 1}
+	for n := 1; n < 10; n++ {
+		if got := p.Backoff(n); got != 0 {
+			t.Fatalf("Backoff(%d) = %v with zero base, want 0", n, got)
+		}
+	}
+	start := time.Now()
+	if err := p.Sleep(context.Background(), 5); err != nil {
+		t.Fatalf("Sleep: %v", err)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("zero-base Sleep took %v", d)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Cap: time.Second, Jitter: 0.5}
+	for i := 0; i < 100; i++ {
+		d := p.Backoff(1)
+		if d < 10*time.Millisecond || d > 15*time.Millisecond {
+			t.Fatalf("jittered Backoff(1) = %v, want [10ms,15ms]", d)
+		}
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	p := Policy{Base: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := p.Sleep(ctx, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("Sleep did not return promptly on cancel (%v)", d)
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 5}, func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("transient %d", calls)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("op ran %d times, want 3", calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	err := Do(context.Background(), Policy{Attempts: 4}, func() error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do err = %v, want boom", err)
+	}
+	if calls != 4 {
+		t.Fatalf("op ran %d times, want 4", calls)
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	calls := 0
+	boom := errors.New("fatal")
+	err := Do(context.Background(), Policy{Attempts: 10}, func() error {
+		calls++
+		return Permanent(boom)
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do err = %v, want fatal", err)
+	}
+	if calls != 1 {
+		t.Fatalf("op ran %d times after Permanent, want 1", calls)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+	if !IsPermanent(Permanent(boom)) || IsPermanent(boom) {
+		t.Fatal("IsPermanent misclassifies")
+	}
+}
+
+func TestDoStopsOnCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Do(ctx, Policy{Attempts: 10, Base: time.Hour}, func() error {
+		calls++
+		return errors.New("transient")
+	})
+	if err == nil {
+		t.Fatal("Do succeeded under cancelled context")
+	}
+	if calls > 1 {
+		t.Fatalf("op ran %d times under cancelled context", calls)
+	}
+}
