@@ -111,6 +111,17 @@ type benchSnapshot struct {
 	TimelineEvents     int               `json:"obs_timeline_events"`
 	Metrics            map[string]uint64 `json:"metrics,omitempty"`
 
+	// Fleet metric-merge overhead: folding a realistic worker snapshot
+	// (the armed run's own harvest, histograms included) into an armed
+	// registry with obs.MergeFlat — what the coordinator pays once per
+	// accepted unit. The per-snapshot figure bounds the coordinator-side
+	// cost of the v2 observability stream at any sweep size: units/sec ×
+	// merge_ns_per_snapshot is the fraction of one core it spends merging.
+	MergeSnapshotEntries int     `json:"merge_snapshot_entries"`
+	MergeNSPerSnapshot   float64 `json:"merge_ns_per_snapshot"`
+	MergeNSPerEntry      float64 `json:"merge_ns_per_entry"`
+	MergeAllocsPerOp     float64 `json:"merge_allocs_per_op"`
+
 	// Sink contention: the shared-state hot paths (observability
 	// registry, manifest journal, result cache) measured under the
 	// legacy shared-atomic/flush-per-record regime versus the
@@ -310,6 +321,30 @@ func writeBenchSnapshot(path string, selected []harness.Experiment, opts harness
 			pct = 0
 		}
 		snap.ObsOverheadPct = pct
+	}
+
+	// Metric-merge overhead: the armed runs above left a realistic
+	// snapshot in snap.Metrics; fold it into a fresh armed registry
+	// repeatedly, exactly as the coordinator does per accepted unit.
+	if len(snap.Metrics) > 0 {
+		obs.Reset()
+		obs.Arm()
+		foreign := snap.Metrics
+		entries := 0
+		snap.MergeAllocsPerOp = testing.AllocsPerRun(50, func() { entries = obs.MergeFlat(foreign) })
+		const mergeRuns = 500
+		start = time.Now()
+		for i := 0; i < mergeRuns; i++ {
+			entries = obs.MergeFlat(foreign)
+		}
+		elapsed := time.Since(start)
+		snap.MergeSnapshotEntries = entries
+		snap.MergeNSPerSnapshot = float64(elapsed.Nanoseconds()) / mergeRuns
+		if entries > 0 {
+			snap.MergeNSPerEntry = snap.MergeNSPerSnapshot / float64(entries)
+		}
+		obs.Disarm()
+		obs.Reset()
 	}
 
 	// Sink contention at full width and 4x oversubscription. The bench

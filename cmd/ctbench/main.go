@@ -68,14 +68,21 @@
 //	                          # harness phase (open in Perfetto or
 //	                          # chrome://tracing)
 //	ctbench -listen :8080     # serve live introspection while the sweep
-//	                          # runs: /metrics (Prometheus text),
-//	                          # /metrics.json, /progress, /debug/vars
-//	                          # (expvar) and /debug/pprof
+//	                          # runs: /metrics (Prometheus text, with
+//	                          # p50/p95/p99 summaries per histogram),
+//	                          # /metrics.json, /progress, /healthz
+//	                          # (200 serving, 503 draining),
+//	                          # /debug/vars (expvar) and /debug/pprof
 //	ctbench -serve :9090      # coordinate a distributed sweep: shard
 //	                          # the selected experiments into leased
 //	                          # work units served over HTTP/JSON (plus
-//	                          # the introspection endpoints above) and
-//	                          # merge worker results; falls back to
+//	                          # the introspection endpoints above and
+//	                          # a GET /fleet report of worker liveness,
+//	                          # lease ages, points/sec and metric lag)
+//	                          # and merge worker results — tables,
+//	                          # metric deltas and timeline spans, so
+//	                          # /metrics and -json report fleet-wide
+//	                          # totals; falls back to
 //	                          # in-process execution if no worker joins
 //	                          # (or all of them die), so the sweep
 //	                          # always finishes. Composes with -cache,
@@ -177,8 +184,12 @@ type jsonReport struct {
 	Metrics map[string]uint64 `json:"metrics,omitempty"`
 	// Fleet is the distributed-sweep accounting (leases, heartbeats,
 	// dedup hits, fallback units) — present only under -serve.
-	Fleet       map[string]uint64 `json:"fleet,omitempty"`
-	Experiments []jsonExperiment  `json:"experiments"`
+	Fleet map[string]uint64 `json:"fleet,omitempty"`
+	// FleetWorkers is the per-worker fleet report (units, points,
+	// clock offset, metric lag) — present only under -serve once a
+	// worker has joined.
+	FleetWorkers []fleet.WorkerReport `json:"fleet_workers,omitempty"`
+	Experiments  []jsonExperiment     `json:"experiments"`
 }
 
 // cleanup drains the journal and cache sinks before an early exit;
@@ -497,6 +508,7 @@ func main() {
 	builtBefore, reusedBefore := cpu.MachinesBuilt(), cpu.MachinesReset()
 	var results []harness.Result
 	var fleetStats *fleet.Stats
+	var fleetCo *fleet.Coordinator
 	if *serve != "" {
 		// Coordinator mode: same sweep, same sinks, same output — the
 		// execution just happens wherever workers are (or in-process,
@@ -510,8 +522,13 @@ func main() {
 			usageErr("-serve: %v", err)
 		}
 		fleetStats = co.Stats()
+		fleetCo = co
 		obs.RegisterSource(fleetStats.EmitMetrics)
-		fmt.Fprintf(os.Stderr, "ctbench: coordinating fleet on http://%s/fleet/ (join with: ctbench -worker %s)\n",
+		// The per-worker fleet.worker.<id>.* namespace rides the same
+		// pull: registered here, not in the package, so only an actual
+		// coordinator run grows its snapshot by worker count.
+		obs.RegisterSource(co.EmitWorkerMetrics)
+		fmt.Fprintf(os.Stderr, "ctbench: coordinating fleet on http://%s/fleet/ (join with: ctbench -worker %s; live report on /fleet)\n",
 			co.Addr(), co.Addr())
 		results, err = co.Run(context.Background())
 		if err != nil {
@@ -544,11 +561,42 @@ func main() {
 	fmt.Printf("total: %d experiments, %d machines (%d built, %d reused), %d cache hits, %d traces recorded, %d replayed (%d shared across configs, %d fan-out passes, %d decode passes), %v wall (parallel=%d, cache=%s, trace=%s)\n",
 		len(results), built+reused, built, reused, cacheHits, traceRecs, traceReps, sharedReps, fanouts, decodePasses,
 		wall.Round(time.Millisecond), workers, mode, tmode)
+	var fleetReport *fleet.FleetReport
 	if fleetStats != nil {
 		s := fleetStats.Map()
 		fmt.Printf("fleet: %d workers joined (%d lost), %d leases granted (%d expired, %d requeued), %d results accepted (%d dup, %d malformed), %d run locally, %d cached\n",
 			s["worker_joins"], s["worker_losses"], s["leases_granted"], s["leases_expired"], s["leases_requeued"],
 			s["results_accepted"], s["dedup_hits"], s["results_malformed"], s["local_units"], s["cached_units"])
+		fr := fleetCo.FleetReport()
+		fleetReport = &fr
+		if len(fr.Workers) > 0 {
+			fmt.Printf("fleet obs: %d metric snapshots merged (%d entries), %d spans imported, %d remote points\n",
+				s["metric_snapshots"], s["metric_entries"], s["spans_imported"], s["remote_points"])
+			for _, wr := range fr.Workers {
+				state := "lost"
+				if wr.Live {
+					state = fmt.Sprintf("live, seen %dms ago", wr.LastSeenMS)
+				}
+				line := fmt.Sprintf("fleet worker %s: %s, proto v%d, %d units done, %d points",
+					wr.ID, state, wr.Protocol, wr.UnitsDone, wr.Points)
+				if wr.PointsPerSec > 0 {
+					line += fmt.Sprintf(" (%.0f pts/s)", wr.PointsPerSec)
+				}
+				if wr.Leases > 0 {
+					line += fmt.Sprintf(", %d leases (oldest %dms)", wr.Leases, wr.OldestLeaseMS)
+				}
+				if wr.MetricLagMS >= 0 {
+					line += fmt.Sprintf(", metric lag %dms", wr.MetricLagMS)
+				}
+				if wr.ClockOffsetMS != 0 {
+					line += fmt.Sprintf(", clock offset %+.1fms", wr.ClockOffsetMS)
+				}
+				if wr.Busy != "" {
+					line += ", busy on " + wr.Busy
+				}
+				fmt.Println(line)
+			}
+		}
 	}
 
 	// Fault accounting: every run reports what it survived, and failures
@@ -619,6 +667,9 @@ func main() {
 		}
 		if fleetStats != nil {
 			report.Fleet = fleetStats.Map()
+		}
+		if fleetReport != nil {
+			report.FleetWorkers = fleetReport.Workers
 		}
 		for _, r := range results {
 			je := jsonExperiment{

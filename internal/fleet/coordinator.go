@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -86,6 +87,11 @@ type Stats struct {
 	DedupHits        atomic.Uint64
 	LocalUnits       atomic.Uint64
 	CachedUnits      atomic.Uint64
+	// v2 observability-streaming accounting.
+	MetricSnapshots atomic.Uint64 // metric payloads merged (heartbeat deltas + upload snapshots)
+	MetricEntries   atomic.Uint64 // individual entries across those payloads
+	SpansImported   atomic.Uint64 // timeline spans merged from worker uploads
+	RemotePoints    atomic.Uint64 // simulation points executed inside accepted remote units
 }
 
 // Map snapshots the counters under flat snake_case names.
@@ -104,6 +110,10 @@ func (s *Stats) Map() map[string]uint64 {
 		"dedup_hits":        s.DedupHits.Load(),
 		"local_units":       s.LocalUnits.Load(),
 		"cached_units":      s.CachedUnits.Load(),
+		"metric_snapshots":  s.MetricSnapshots.Load(),
+		"metric_entries":    s.MetricEntries.Load(),
+		"spans_imported":    s.SpansImported.Load(),
+		"remote_points":     s.RemotePoints.Load(),
 	}
 }
 
@@ -136,6 +146,7 @@ type unit struct {
 	state    unitState
 	worker   string
 	leaseID  uint64
+	granted  time.Time // when the current lease was granted (lease-age accounting)
 	deadline time.Time // zero for local claims: in-process work never expires
 	attempts int
 }
@@ -146,6 +157,29 @@ type workerState struct {
 	lastSeen time.Time
 	leases   map[uint64]int // leaseID -> unit index
 }
+
+// workerObs is the coordinator's observability image of one worker:
+// the max-merged cumulative registry the worker streams over
+// heartbeats and uploads, its point progress, and the clock-offset
+// estimate used to place its timeline spans. Unlike workerState it
+// survives worker loss — a dead worker's reported work is still real,
+// so its per-worker metrics and fleet report row persist.
+type workerObs struct {
+	proto    int
+	joinedAt time.Time
+	lastObs  time.Time         // last v2 metric report (zero: never reported)
+	cum      map[string]uint64 // cumulative registry entries, max-merged per key
+	points   uint64            // cumulative executed points, max-merged
+	unitPts  uint64            // points summed over accepted units (floor under points)
+	units    uint64            // accepted (non-duplicate) results
+	busy     string            // experiment last reported executing
+	offNS    int64             // estimated local−worker clock offset
+	offRTT   int64             // RTT of the heartbeat that produced offNS (0: no timed sample yet)
+}
+
+// leaseAgeHist distributes grant→accept latency of remote units (ms) —
+// how long leases actually live against their TTL.
+var leaseAgeHist = obs.NewHistogram("fleet.lease_age_ms")
 
 // Coordinator owns a sweep's work queue and its result sinks. Build
 // one with NewCoordinator (which binds the endpoint) and drive it
@@ -167,6 +201,13 @@ type Coordinator struct {
 	draining     bool
 	finished     bool
 
+	// obsMu guards obsWorkers separately from mu: metric merges and
+	// report rendering never contend with the lease path, and neither
+	// lock is ever held while taking the other (or while calling into
+	// the obs registry), so no ordering can deadlock.
+	obsMu      sync.Mutex
+	obsWorkers map[string]*workerObs
+
 	done  chan struct{}
 	stats Stats
 }
@@ -186,13 +227,14 @@ func NewCoordinator(cfg Config, exps []harness.Experiment, o harness.Options) (*
 		o.Parallel = max
 	}
 	c := &Coordinator{
-		cfg:     cfg,
-		opts:    o,
-		units:   make([]*unit, len(exps)),
-		results: make([]harness.Result, len(exps)),
-		open:    len(exps),
-		workers: make(map[string]*workerState),
-		done:    make(chan struct{}),
+		cfg:        cfg,
+		opts:       o,
+		units:      make([]*unit, len(exps)),
+		results:    make([]harness.Result, len(exps)),
+		open:       len(exps),
+		workers:    make(map[string]*workerState),
+		obsWorkers: make(map[string]*workerObs),
+		done:       make(chan struct{}),
 	}
 	for i, e := range exps {
 		c.units[i] = &unit{idx: i, exp: e, key: harness.CacheKey(e, o)}
@@ -211,6 +253,7 @@ func NewCoordinator(cfg Config, exps []harness.Experiment, o harness.Options) (*
 	srv.HandleFunc("/fleet/heartbeat", c.handleHeartbeat)
 	srv.HandleFunc("/fleet/result", c.handleResult)
 	srv.HandleFunc("/fleet/status", c.handleStatus)
+	srv.HandleFunc("/fleet", c.handleFleet)
 	return c, nil
 }
 
@@ -234,6 +277,7 @@ func (c *Coordinator) Close() error { return c.srv.Close() }
 func (c *Coordinator) Run(ctx context.Context) ([]harness.Result, error) {
 	defer c.srv.Close()
 	obs.ProgressAddTotal(len(c.units))
+	obs.ProgressFleetOn() // label /progress distributed from the first line
 	c.serveCached()
 	c.mu.Lock()
 	c.start = time.Now()
@@ -393,9 +437,27 @@ func (c *Coordinator) scan(now time.Time) {
 		}
 	}
 	c.mu.Unlock()
+	c.updateFleetProgress()
 	if drain {
 		go c.drainLocal()
 	}
+}
+
+// updateFleetProgress feeds the remote-side figures (worker-reported
+// cumulative points, in-flight remote leases, live workers) to the obs
+// progress line. Never holds both locks at once.
+func (c *Coordinator) updateFleetProgress() {
+	c.mu.Lock()
+	inFlight := uint64(c.remoteLeasesLocked())
+	workers := uint64(len(c.workers))
+	c.mu.Unlock()
+	var pts uint64
+	c.obsMu.Lock()
+	for _, wo := range c.obsWorkers {
+		pts += wo.points
+	}
+	c.obsMu.Unlock()
+	obs.SetProgressFleet(pts, inFlight, workers)
 }
 
 // pendingLocked counts unleased, undone units.
@@ -448,6 +510,7 @@ func (c *Coordinator) drainLocal() {
 		u.state = unitLeased
 		u.worker = localWorker
 		u.leaseID = c.nextLease
+		u.granted = time.Now()
 		u.deadline = time.Time{}
 		u.attempts++
 		idx, exp := u.idx, u.exp
@@ -526,9 +589,10 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	if req.Version != ProtocolVersion {
+	if req.Version < MinProtocolVersion || req.Version > ProtocolVersion {
 		writeJSON(w, joinResponse{Reason: fmt.Sprintf(
-			"protocol version mismatch: coordinator %d, worker %d", ProtocolVersion, req.Version)})
+			"protocol version %d outside coordinator window [%d, %d]",
+			req.Version, MinProtocolVersion, ProtocolVersion)})
 		return
 	}
 	if req.Salt != harness.SimVersionSalt {
@@ -552,12 +616,29 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 		c.stats.WorkersLive.Add(1)
 	}
 	c.mu.Unlock()
-	writeJSON(w, joinResponse{
+	c.obsMu.Lock()
+	wo := c.obsWorkers[req.Worker]
+	if wo == nil {
+		wo = &workerObs{joinedAt: now, cum: make(map[string]uint64)}
+		c.obsWorkers[req.Worker] = wo
+	}
+	wo.proto = req.Version
+	c.obsMu.Unlock()
+	resp := joinResponse{
 		OK:          true,
 		Quick:       c.opts.Quick,
 		HeartbeatMS: c.cfg.Heartbeat.Milliseconds(),
 		LeaseTTLMS:  c.cfg.LeaseTTL.Milliseconds(),
-	})
+		Version:     ProtocolVersion,
+	}
+	if req.Version >= 2 {
+		// Ask for exactly the observability this coordinator is itself
+		// collecting; a worker streaming into a disarmed registry would
+		// be pure overhead.
+		resp.Metrics = obs.Enabled()
+		resp.Timeline = obs.TimelineEnabled()
+	}
+	writeJSON(w, resp)
 }
 
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
@@ -587,6 +668,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		u.state = unitLeased
 		u.worker = req.Worker
 		u.leaseID = c.nextLease
+		u.granted = now
 		u.deadline = now.Add(c.cfg.LeaseTTL)
 		u.attempts++
 		ws.leases[u.leaseID] = u.idx
@@ -611,6 +693,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	recvNS := time.Now().UnixNano()
 	c.mu.Lock()
 	ws := c.workers[req.Worker]
 	if ws != nil {
@@ -622,7 +705,60 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.stats.Heartbeats.Add(1)
+	if req.SentNS != 0 {
+		c.noteHeartbeatObs(&req, recvNS)
+		c.updateFleetProgress()
+	}
 	writeJSON(w, heartbeatResponse{OK: true})
+}
+
+// noteHeartbeatObs folds one v2 heartbeat's piggybacked observability
+// into the worker's image: max-merge the changed registry entries
+// (cumulative values make re-sends after a dropped beat idempotent),
+// track point progress and what the worker is busy on, and refine the
+// clock-offset estimate from the RTT sample.
+func (c *Coordinator) noteHeartbeatObs(req *heartbeatRequest, recvNS int64) {
+	c.obsMu.Lock()
+	defer c.obsMu.Unlock()
+	wo := c.obsWorkers[req.Worker]
+	if wo == nil { // resurrected worker racing its rejoin; start an image anyway
+		wo = &workerObs{joinedAt: time.Now(), proto: ProtocolVersion, cum: make(map[string]uint64)}
+		c.obsWorkers[req.Worker] = wo
+	}
+	wo.lastObs = time.Now()
+	wo.busy = req.Busy
+	if req.Points > wo.points {
+		wo.points = req.Points
+	}
+	for k, v := range req.Obs {
+		if v > wo.cum[k] {
+			wo.cum[k] = v
+		}
+	}
+	if n := len(req.Obs); n > 0 {
+		c.stats.MetricSnapshots.Add(1)
+		c.stats.MetricEntries.Add(uint64(n))
+	}
+	// Clock offset ≈ recv − sent − rtt/2. Keep the smallest-RTT sample
+	// (least asymmetry headroom); the first beat carries no RTT yet, so
+	// accept its crude recv−sent only until a timed sample lands.
+	off := recvNS - req.SentNS - req.RTTNS/2
+	switch {
+	case req.RTTNS > 0 && (wo.offRTT <= 0 || req.RTTNS < wo.offRTT):
+		wo.offNS, wo.offRTT = off, req.RTTNS
+	case wo.offRTT <= 0 && wo.offNS == 0:
+		wo.offNS = off
+	}
+}
+
+// clockOffsetFor returns the current local−worker offset estimate.
+func (c *Coordinator) clockOffsetFor(id string) int64 {
+	c.obsMu.Lock()
+	defer c.obsMu.Unlock()
+	if wo := c.obsWorkers[id]; wo != nil {
+		return wo.offNS
+	}
+	return 0
 }
 
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -639,6 +775,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	exp := c.units[req.Idx].exp
+	granted := c.units[req.Idx].granted
 	c.mu.Unlock()
 	res := harness.Result{
 		Experiment: exp,
@@ -670,7 +807,167 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dup := c.accept(req.Idx, res, req.Worker)
+	if !dup {
+		c.noteRemoteUpload(&req, granted)
+	}
 	writeJSON(w, resultResponse{OK: true, Dup: dup})
+}
+
+// noteRemoteUpload books one accepted (non-duplicate) remote unit's
+// observability. This is the exact plane: req.Metrics is the unit's
+// own registry delta, merged into the coordinator's fleet-aggregate
+// registry exactly once per unit — duplicates never reach here, so
+// distributed totals match a serial run of the same sweep. The
+// worker's full cumulative snapshot refreshes the per-worker
+// namespace, and its drained timeline spans land under the worker's
+// process row, shifted onto the coordinator's clock.
+func (c *Coordinator) noteRemoteUpload(req *resultRequest, granted time.Time) {
+	obs.ProgressRemoteExpDone()
+	if !granted.IsZero() {
+		if age := time.Since(granted); age > 0 {
+			leaseAgeHist.Observe(uint64(age.Milliseconds()))
+		}
+	}
+	if len(req.Metrics) > 0 {
+		n := obs.MergeFlat(req.Metrics)
+		c.stats.MetricSnapshots.Add(1)
+		c.stats.MetricEntries.Add(uint64(n))
+	}
+	if len(req.Spans) > 0 {
+		obs.ImportWireEvents(req.Worker, c.clockOffsetFor(req.Worker), req.Spans)
+		c.stats.SpansImported.Add(uint64(len(req.Spans)))
+	}
+	c.stats.RemotePoints.Add(req.Points)
+	c.obsMu.Lock()
+	wo := c.obsWorkers[req.Worker]
+	if wo == nil {
+		wo = &workerObs{joinedAt: time.Now(), proto: ProtocolVersion, cum: make(map[string]uint64)}
+		c.obsWorkers[req.Worker] = wo
+	}
+	wo.units++
+	if len(req.Obs) > 0 {
+		wo.lastObs = time.Now()
+		for k, v := range req.Obs {
+			if v > wo.cum[k] {
+				wo.cum[k] = v
+			}
+		}
+	}
+	// Upload Points is the unit's own count, not the worker's cumulative
+	// one: accumulate it and use the sum as a floor under the
+	// heartbeat-fed cumulative figure (both are monotonic, and the
+	// heartbeat one additionally counts in-flight work).
+	wo.unitPts += req.Points
+	if wo.unitPts > wo.points {
+		wo.points = wo.unitPts
+	}
+	c.obsMu.Unlock()
+	c.updateFleetProgress()
+}
+
+// FleetReport snapshots the fleet for GET /fleet and the CLI's fleet
+// summary block: unit states plus one row per worker the coordinator
+// has ever seen (rows outlive their workers — a lost worker's
+// completed units are still part of the sweep).
+func (c *Coordinator) FleetReport() FleetReport {
+	now := time.Now()
+	type liveInfo struct {
+		lastSeen time.Time
+		leases   int
+		oldest   time.Time
+	}
+	fr := FleetReport{}
+	live := make(map[string]liveInfo)
+	c.mu.Lock()
+	fr.Total = len(c.units)
+	for _, u := range c.units {
+		switch u.state {
+		case unitPending:
+			fr.Pending++
+		case unitLeased:
+			fr.Leased++
+		case unitDone:
+			fr.Done++
+		}
+		if u.state == unitLeased && u.worker != localWorker {
+			li := live[u.worker]
+			li.leases++
+			if li.oldest.IsZero() || u.granted.Before(li.oldest) {
+				li.oldest = u.granted
+			}
+			live[u.worker] = li
+		}
+	}
+	for id, ws := range c.workers {
+		li := live[id]
+		li.lastSeen = ws.lastSeen
+		live[id] = li
+	}
+	fr.WorkersLive = len(c.workers)
+	c.mu.Unlock()
+
+	c.obsMu.Lock()
+	ids := make([]string, 0, len(c.obsWorkers))
+	for id := range c.obsWorkers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		wo := c.obsWorkers[id]
+		li, isLive := live[id]
+		wr := WorkerReport{
+			ID:            id,
+			Live:          isLive && !li.lastSeen.IsZero(),
+			Protocol:      wo.proto,
+			LastSeenMS:    -1,
+			Leases:        li.leases,
+			UnitsDone:     wo.units,
+			Points:        wo.points,
+			MetricLagMS:   -1,
+			ClockOffsetMS: float64(wo.offNS) / 1e6,
+			Busy:          wo.busy,
+		}
+		if wr.Live {
+			wr.LastSeenMS = now.Sub(li.lastSeen).Milliseconds()
+		}
+		if !li.oldest.IsZero() {
+			wr.OldestLeaseMS = now.Sub(li.oldest).Milliseconds()
+		}
+		if !wo.lastObs.IsZero() {
+			wr.MetricLagMS = now.Sub(wo.lastObs).Milliseconds()
+		}
+		if age := now.Sub(wo.joinedAt).Seconds(); age > 0 && wo.points > 0 {
+			wr.PointsPerSec = float64(wo.points) / age
+		}
+		fr.RemotePoints += wo.points
+		fr.Workers = append(fr.Workers, wr)
+	}
+	c.obsMu.Unlock()
+	fr.Stats = c.stats.Map()
+	return fr
+}
+
+// handleFleet serves the fleet report on GET /fleet.
+func (c *Coordinator) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, c.FleetReport())
+}
+
+// EmitWorkerMetrics enumerates each worker's streamed registry image
+// under the fleet.worker.<id>.* namespace — the per-worker plane next
+// to the exact fleet-aggregate one MergeFlat maintains. Registered as
+// an obs Source by the CLI (only for coordinator runs: an idle
+// process shouldn't grow its snapshot by worker count).
+func (c *Coordinator) EmitWorkerMetrics(emit func(name string, v uint64)) {
+	c.obsMu.Lock()
+	defer c.obsMu.Unlock()
+	for id, wo := range c.obsWorkers {
+		prefix := "fleet.worker." + id + "."
+		for k, v := range wo.cum {
+			emit(prefix+k, v)
+		}
+		emit(prefix+"points", wo.points)
+		emit(prefix+"units_done", wo.units)
+	}
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {

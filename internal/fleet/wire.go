@@ -29,11 +29,25 @@ import (
 	"strings"
 
 	"ctbia/internal/harness"
+	"ctbia/internal/obs"
 )
 
-// ProtocolVersion gates the wire protocol; a worker built from a
-// different protocol generation is refused at join.
-const ProtocolVersion = 1
+// ProtocolVersion gates the wire protocol. Since v2 the check is a
+// negotiation window rather than an equality: the coordinator accepts
+// any worker from MinProtocolVersion up and tells it which version it
+// speaks, so old workers keep computing (they just don't stream
+// observability) while a too-new worker is still refused.
+//
+// v1: join/lease/heartbeat/result with tables only.
+// v2: heartbeats carry cumulative metric deltas, point progress and
+// clock samples; results carry the per-unit metric delta (already a v1
+// field, now populated), a final cumulative snapshot, executed-point
+// counts and buffered timeline spans; joins negotiate version and the
+// metrics/timeline capabilities.
+const (
+	ProtocolVersion    = 2
+	MinProtocolVersion = 1
+)
 
 // maxBodyBytes bounds request and response bodies (tables are a few
 // KB; the bound exists so a mangled length can't balloon a read).
@@ -52,13 +66,25 @@ type joinRequest struct {
 // joinResponse accepts or refuses a worker and, on accept, hands it
 // the run configuration: the coordinator's Quick scale (the worker's
 // own -quick flag is overridden — mixed sizes would corrupt the
-// sweep), the heartbeat interval and the lease TTL.
+// sweep), the heartbeat interval, the lease TTL, the negotiated
+// protocol version and the observability capabilities the coordinator
+// wants exercised (a v1 coordinator omits all three; the zero values
+// degrade the worker to v1 behaviour).
 type joinResponse struct {
 	OK          bool   `json:"ok"`
 	Reason      string `json:"reason,omitempty"`
 	Quick       bool   `json:"quick"`
 	HeartbeatMS int64  `json:"heartbeat_ms"`
 	LeaseTTLMS  int64  `json:"lease_ttl_ms"`
+	// Version is the coordinator's protocol generation; the worker uses
+	// min(its own, this) and gates the v2 fields on it.
+	Version int `json:"version,omitempty"`
+	// Metrics asks the worker to arm its obs registry and stream
+	// snapshots (the coordinator's registry is armed and merging).
+	Metrics bool `json:"metrics,omitempty"`
+	// Timeline asks the worker to collect timeline spans and upload
+	// them with each result (the coordinator is writing a -timeline).
+	Timeline bool `json:"timeline,omitempty"`
 }
 
 // leaseRequest asks for one work unit.
@@ -84,8 +110,28 @@ type leaseResponse struct {
 // heartbeatRequest renews a worker's liveness. It deliberately does
 // not renew lease deadlines: the lease TTL is an execution deadline,
 // so a wedged-but-alive worker still forfeits its unit on time.
+//
+// Since v2 a heartbeat also piggybacks the worker's live observability:
+// the registry entries that changed since the last acknowledged beat
+// (as cumulative values — the coordinator max-merges per key, so a
+// re-sent entry after a dropped beat is idempotent), cumulative point
+// progress, what the worker is executing, and a clock sample for
+// offset estimation. All optional: a v1 worker sends none of it.
 type heartbeatRequest struct {
 	Worker string `json:"worker"`
+	// SentNS is the worker's clock at send time; with RTTNS (the
+	// measured round-trip of the worker's previous heartbeat) the
+	// coordinator estimates the worker's clock offset as
+	// recv − sent − rtt/2, keeping the smallest-RTT sample.
+	SentNS int64 `json:"sent_ns,omitempty"`
+	RTTNS  int64 `json:"rtt_ns,omitempty"`
+	// Points is the worker's cumulative executed-point count.
+	Points uint64 `json:"points,omitempty"`
+	// Busy names the experiment currently executing ("" when idle).
+	Busy string `json:"busy,omitempty"`
+	// Obs carries registry entries changed since the last acked beat,
+	// as cumulative values.
+	Obs map[string]uint64 `json:"obs,omitempty"`
 }
 
 type heartbeatResponse struct {
@@ -98,16 +144,28 @@ type heartbeatResponse struct {
 // (the coordinator reconstructs a PointError from Errors so the CLI's
 // FAILED accounting matches a local run).
 type resultRequest struct {
-	Worker   string            `json:"worker"`
-	LeaseID  uint64            `json:"lease_id"`
-	Idx      int               `json:"idx"`
-	ExpID    string            `json:"exp_id"`
-	Table    *harness.Table    `json:"table"`
-	Failed   bool              `json:"failed,omitempty"`
-	Errors   []string          `json:"errors,omitempty"`
-	WallMS   float64           `json:"wall_ms"`
-	Machines uint64            `json:"machines"`
-	Metrics  map[string]uint64 `json:"metrics,omitempty"`
+	Worker   string         `json:"worker"`
+	LeaseID  uint64         `json:"lease_id"`
+	Idx      int            `json:"idx"`
+	ExpID    string         `json:"exp_id"`
+	Table    *harness.Table `json:"table"`
+	Failed   bool           `json:"failed,omitempty"`
+	Errors   []string       `json:"errors,omitempty"`
+	WallMS   float64        `json:"wall_ms"`
+	Machines uint64         `json:"machines"`
+	// Metrics is the unit's registry delta (harness.Result.Metrics).
+	// The coordinator folds it into its fleet-aggregate registry exactly
+	// once per accepted unit — duplicates and re-executions merge
+	// nothing, which is what keeps distributed totals equal to serial.
+	Metrics map[string]uint64 `json:"metrics,omitempty"`
+	// Points counts simulation points executed during this unit.
+	Points uint64 `json:"points,omitempty"`
+	// Obs is the worker's full cumulative registry snapshot at upload —
+	// the per-worker namespace's authoritative refresh (heartbeat deltas
+	// only bound staleness between uploads).
+	Obs map[string]uint64 `json:"obs,omitempty"`
+	// Spans is the worker's buffered timeline, drained at upload.
+	Spans []obs.WireEvent `json:"spans,omitempty"`
 }
 
 // resultResponse acknowledges an upload. Dup marks a duplicate
@@ -129,6 +187,51 @@ type statusReport struct {
 	Done    int               `json:"done"`
 	Workers int               `json:"workers"`
 	Stats   map[string]uint64 `json:"stats"`
+}
+
+// WorkerReport is one worker's row in the GET /fleet report and the
+// CLI's fleet summary block. Rows outlive their workers: a lost
+// worker's reported work is real, so its row stays (Live false).
+type WorkerReport struct {
+	ID       string `json:"id"`
+	Live     bool   `json:"live"`
+	Protocol int    `json:"protocol"`
+	// LastSeenMS is the age of the worker's last protocol contact
+	// (-1 when the worker is gone).
+	LastSeenMS int64 `json:"last_seen_ms"`
+	// Leases counts units currently leased; OldestLeaseMS is the age of
+	// the oldest one (how close the worker is running to its TTL).
+	Leases        int   `json:"leases"`
+	OldestLeaseMS int64 `json:"oldest_lease_ms,omitempty"`
+	// UnitsDone counts accepted (non-duplicate) results.
+	UnitsDone uint64 `json:"units_done"`
+	// Points is the cumulative executed-point count the worker last
+	// reported; PointsPerSec averages it over time since join.
+	Points       uint64  `json:"points"`
+	PointsPerSec float64 `json:"points_per_sec"`
+	// MetricLagMS is the age of the worker's last merged metric report
+	// — how stale the per-worker namespace is (-1: never reported).
+	MetricLagMS int64 `json:"metric_lag_ms"`
+	// ClockOffsetMS estimates (coordinator clock − worker clock) from
+	// heartbeat RTT midpoints; imported timeline spans are shifted by
+	// it. Accuracy is bounded by RTT asymmetry — fine for aligning
+	// trace lanes, not for ordering sub-millisecond events.
+	ClockOffsetMS float64 `json:"clock_offset_ms"`
+	// Busy names the experiment the worker last reported executing.
+	Busy string `json:"busy,omitempty"`
+}
+
+// FleetReport is the GET /fleet snapshot: unit states, per-worker
+// liveness/lease/progress/lag rows, and the coordinator's counters.
+type FleetReport struct {
+	Total        int               `json:"total"`
+	Pending      int               `json:"pending"`
+	Leased       int               `json:"leased"`
+	Done         int               `json:"done"`
+	WorkersLive  int               `json:"workers_live"`
+	RemotePoints uint64            `json:"remote_points"`
+	Workers      []WorkerReport    `json:"workers,omitempty"`
+	Stats        map[string]uint64 `json:"stats"`
 }
 
 // readJSON decodes a POST body into dst, answering 405/400 itself on

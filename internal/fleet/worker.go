@@ -16,6 +16,7 @@ import (
 
 	"ctbia/internal/faultinject"
 	"ctbia/internal/harness"
+	"ctbia/internal/obs"
 	"ctbia/internal/retry"
 )
 
@@ -63,6 +64,21 @@ type Worker struct {
 	base       string
 	client     *http.Client
 	needRejoin atomic.Bool
+
+	// Negotiated at join; atomics because the heartbeat goroutine reads
+	// them while the main loop may rejoin.
+	proto     atomic.Int32 // min(our ProtocolVersion, coordinator's)
+	sendObs   atomic.Bool  // coordinator asked for metric streaming
+	sendSpans atomic.Bool  // coordinator asked for timeline spans
+	busy      atomic.Value // string: experiment currently executing
+	lastRTT   atomic.Int64 // ns round-trip of the previous heartbeat post
+
+	// lastSent tracks the cumulative registry values the coordinator has
+	// acknowledged, so each heartbeat ships only what changed. Committed
+	// only after a successful post: a dropped beat's entries simply ride
+	// the next one (cumulative values make the re-send idempotent).
+	obsMu    sync.Mutex
+	lastSent map[string]uint64
 }
 
 // NewWorker builds a worker; Run drives it.
@@ -164,7 +180,9 @@ func (w *Worker) Run(ctx context.Context) (int, error) {
 		if faultinject.Should("fleet.worker.kill", w.id+"/"+lr.ExpID) {
 			return done, ErrKilled
 		}
+		w.busy.Store(lr.ExpID)
 		res := w.execute(lr, opts)
+		w.busy.Store("")
 		// Chaos hook: wedge past the lease deadline; the coordinator
 		// re-queues the unit and this late upload becomes a dedup hit.
 		if faultinject.Should("fleet.worker.stall", w.id+"/"+lr.ExpID) {
@@ -212,6 +230,20 @@ func (w *Worker) submit(ctx context.Context, lr leaseResponse, res harness.Resul
 		Machines: res.Machines,
 		Metrics:  res.Metrics,
 	}
+	if w.proto.Load() >= 2 {
+		req.Points = res.Points
+		if w.sendObs.Load() {
+			// Full cumulative snapshot: the per-worker namespace's
+			// authoritative refresh, and the crash-loss bound — anything a
+			// dropped heartbeat missed is covered by the next upload.
+			req.Obs = obs.Snapshot()
+		}
+		if w.sendSpans.Load() {
+			// Drained once, marshaled once; upload retries resend the same
+			// body, and the coordinator's dedup makes re-delivery harmless.
+			req.Spans = obs.TakeWireEvents()
+		}
+	}
 	if res.Failed() {
 		req.Failed = true
 		for _, pe := range harness.Failures([]harness.Result{res}) {
@@ -258,12 +290,43 @@ func (w *Worker) join(ctx context.Context) (joinResponse, error) {
 		}
 		return nil
 	})
+	if err == nil {
+		// Negotiate down to what both sides speak. A v1 coordinator
+		// omits Version; treat that as 1 and send none of the v2 fields.
+		neg := resp.Version
+		if neg == 0 {
+			neg = 1
+		}
+		if neg > ProtocolVersion {
+			neg = ProtocolVersion
+		}
+		w.proto.Store(int32(neg))
+		w.sendObs.Store(neg >= 2 && resp.Metrics)
+		w.sendSpans.Store(neg >= 2 && resp.Timeline)
+		if neg >= 2 {
+			// Collect what the coordinator asked for: its hello mirrors
+			// its own armed registry / open timeline file.
+			if resp.Metrics {
+				obs.Arm()
+			}
+			if resp.Timeline {
+				obs.EnableTimeline()
+			}
+		}
+	}
 	return resp, err
 }
 
 // heartbeatLoop renews the worker's liveness until stopped. Send
 // failures are ignored — the lease poll does the real erroring — and
 // an Unknown answer flags the main loop to rejoin.
+//
+// On a v2 fleet each beat piggybacks the worker's live observability:
+// registry entries changed since the last beat that got through (as
+// cumulative values — a drop just re-sends them next time), cumulative
+// point progress, the busy experiment, and a clock sample (our send
+// time plus the previous beat's measured round-trip) the coordinator
+// turns into an offset estimate for timeline alignment.
 func (w *Worker) heartbeatLoop(stop <-chan struct{}, interval time.Duration) {
 	if interval <= 0 {
 		interval = 2 * time.Second
@@ -279,13 +342,66 @@ func (w *Worker) heartbeatLoop(stop <-chan struct{}, interval time.Duration) {
 			if faultinject.Should("fleet.heartbeat.drop", w.id) {
 				continue
 			}
+			req := heartbeatRequest{Worker: w.id}
+			var pending map[string]uint64
+			if w.proto.Load() >= 2 {
+				req.SentNS = time.Now().UnixNano()
+				req.RTTNS = w.lastRTT.Load()
+				req.Points = obs.ProgressPoints()
+				req.Busy, _ = w.busy.Load().(string)
+				if w.sendObs.Load() {
+					pending = w.pendingObs()
+					req.Obs = pending
+				}
+			}
+			t0 := time.Now()
 			var resp heartbeatResponse
-			if err := w.post("/fleet/heartbeat", heartbeatRequest{Worker: w.id}, &resp); err != nil {
+			if err := w.post("/fleet/heartbeat", req, &resp); err != nil {
 				continue
 			}
+			w.lastRTT.Store(int64(time.Since(t0)))
+			w.commitObs(pending)
 			if resp.Unknown {
 				w.needRejoin.Store(true)
 			}
+		}
+	}
+}
+
+// pendingObs returns the registry entries whose cumulative value moved
+// since the last acknowledged heartbeat (nil when quiet).
+func (w *Worker) pendingObs() map[string]uint64 {
+	snap := obs.Snapshot()
+	w.obsMu.Lock()
+	defer w.obsMu.Unlock()
+	var out map[string]uint64
+	for k, v := range snap {
+		if v != w.lastSent[k] {
+			if out == nil {
+				out = make(map[string]uint64)
+			}
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// commitObs marks entries as acknowledged after a successful post.
+// Max-merge, not overwrite: the registry kept moving while the beat
+// was in flight, and regressing lastSent would only cause a harmless
+// re-send anyway.
+func (w *Worker) commitObs(sent map[string]uint64) {
+	if len(sent) == 0 {
+		return
+	}
+	w.obsMu.Lock()
+	defer w.obsMu.Unlock()
+	if w.lastSent == nil {
+		w.lastSent = make(map[string]uint64, len(sent))
+	}
+	for k, v := range sent {
+		if v > w.lastSent[k] {
+			w.lastSent[k] = v
 		}
 	}
 }

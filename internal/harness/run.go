@@ -301,6 +301,11 @@ type Result struct {
 	// concurrent experiments the windows overlap, so per-experiment
 	// attribution is approximate there; run-level totals stay exact.
 	Metrics map[string]uint64
+	// Points counts simulation points executed during this experiment
+	// (zero when the layer is disarmed); same overlap caveat as Metrics.
+	// Fleet workers report it so the coordinator's /progress covers
+	// remote execution.
+	Points uint64
 }
 
 // Failed reports whether the experiment failed wholly or in any point.
@@ -469,11 +474,13 @@ func RunOne(e Experiment, o Options) (res Result) {
 	sp := obs.StartSpan("experiment", e.ID)
 	defer sp.End()
 	obsBefore := obsSnapshot()
+	ptsBefore := obs.ProgressPoints()
 	defer func() {
 		if rec := recover(); rec != nil {
 			pe := toPointError(rec)
 			pe.Experiment = e.ID
-			res = Result{Experiment: e, Table: failedTable(e, pe), Err: pe, Wall: time.Since(start)}
+			res = Result{Experiment: e, Table: failedTable(e, pe), Err: pe,
+				Wall: time.Since(start), Points: obs.ProgressPoints() - ptsBefore}
 		}
 	}()
 	faultinject.Check("worker.panic", e.ID, false)
@@ -485,5 +492,6 @@ func RunOne(e Experiment, o Options) (res Result) {
 		Wall:       time.Since(start),
 		Machines:   machineUses() - before,
 		Metrics:    obsDelta(obsBefore),
+		Points:     obs.ProgressPoints() - ptsBefore,
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -20,6 +21,9 @@ import (
 //	/metrics       Prometheus text exposition of the registry
 //	/metrics.json  the same snapshot as a sorted JSON object
 //	/progress      the current sweep progress line
+//	/healthz       200 "ok" while serving, 503 once a graceful drain
+//	               begins — probes and fleet workers can tell a
+//	               draining coordinator from a dead one
 //	/debug/vars    expvar, including ctbia_metrics (the live snapshot)
 //	/debug/pprof/  the standard pprof index, profile, symbol, trace
 //
@@ -29,6 +33,10 @@ type Server struct {
 	ln  net.Listener
 	mux *http.ServeMux
 	srv *http.Server
+
+	// draining flips before the graceful shutdown starts, so requests
+	// answered during the drain window see an honest /healthz.
+	draining atomic.Bool
 
 	mu      sync.Mutex
 	started bool
@@ -44,8 +52,8 @@ func NewServer(addr string) (*Server, error) {
 		return nil, err
 	}
 	mux := http.NewServeMux()
-	mountHandlers(mux)
 	s := &Server{ln: ln, mux: mux}
+	s.mountHandlers()
 	s.srv = &http.Server{Handler: mux}
 	return s, nil
 }
@@ -108,6 +116,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.closed = true
 	started := s.started
 	s.mu.Unlock()
+	s.draining.Store(true) // /healthz answers 503 through the drain window
 	if !started {
 		return s.ln.Close()
 	}
@@ -127,7 +136,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // registry anyway.
 var publishOnce sync.Once
 
-func mountHandlers(mux *http.ServeMux) {
+func (s *Server) mountHandlers() {
+	mux := s.mux
 	publishOnce.Do(func() {
 		expvar.Publish("ctbia_metrics", expvar.Func(func() any { return Snapshot() }))
 	})
@@ -142,6 +152,14 @@ func mountHandlers(mux *http.ServeMux) {
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte(progressLine() + "\n"))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

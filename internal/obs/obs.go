@@ -116,6 +116,10 @@ type Histogram struct {
 	leNames   [histBuckets]string
 	countName string
 	sumName   string
+	// qNames are the export-time quantile summary keys (p50/p95/p99).
+	// They appear only in WriteJSON/WritePrometheus output, never in
+	// Snapshot, so Delta and MergeFlat stay exact.
+	qNames [len(quantileQs)]string
 }
 
 var histograms = struct {
@@ -143,8 +147,20 @@ func NewHistogram(name string) *Histogram {
 	}
 	h.countName = name + ".count"
 	h.sumName = name + ".sum"
+	for i, q := range quantileQs {
+		h.qNames[i] = fmt.Sprintf("%s.p%d", name, int(q*100))
+	}
 	histograms.all = append(histograms.all, h)
 	return h
+}
+
+// registeredHistograms snapshots the registration list (registration is
+// rare; the copy keeps callers off histograms.mu while they walk keys).
+func registeredHistograms() []*Histogram {
+	histograms.mu.Lock()
+	all := append([]*Histogram(nil), histograms.all...)
+	histograms.mu.Unlock()
+	return all
 }
 
 // Observe records one value into the shared compat shard. Disarmed it
@@ -294,14 +310,100 @@ func boundOf(i int) uint64 {
 	return uint64(1) << uint(i)
 }
 
+// quantileQs are the tail summaries appended to exports for every
+// registered histogram with observations.
+var quantileQs = [...]float64{0.50, 0.95, 0.99}
+
+// appendQuantiles injects p50/p95/p99 summary keys for every registered
+// histogram present in snap. The reported value is the exclusive upper
+// bound of the smallest bucket whose cumulative count reaches the
+// quantile rank — conservative within one power of two, which is the
+// histogram's resolution anyway. Export-time only: Snapshot itself
+// never contains quantile keys, so deltas and merges stay exact.
+func appendQuantiles(snap map[string]uint64) {
+	for _, h := range registeredHistograms() {
+		count := snap[h.countName]
+		if count == 0 {
+			continue
+		}
+		for qi, q := range quantileQs {
+			rank := uint64(float64(count) * q)
+			if rank < 1 {
+				rank = 1
+			}
+			var cum uint64
+			for i := 0; i < histBuckets; i++ {
+				v, ok := snap[h.leNames[i]]
+				if !ok {
+					continue
+				}
+				cum = v
+				if cum >= rank {
+					snap[h.qNames[qi]] = boundOf(i)
+					break
+				}
+			}
+			if cum < rank {
+				// Rounding put the rank past the last bucket; the max
+				// bucket bound is still the honest answer.
+				snap[h.qNames[qi]] = boundOf(histBuckets - 1)
+			}
+		}
+	}
+}
+
 // Delta subtracts a prior snapshot from a later one, dropping zero and
 // regressed entries — the per-experiment attribution the harness
 // journals into manifest.json. With concurrent experiments the windows
 // overlap, so per-experiment deltas are approximate there (exactly
 // like the machine-count attribution); run-level totals stay exact.
+//
+// Registered histograms get special handling: their exported le_*
+// buckets are cumulative, and naively subtracting cumulative keys does
+// not yield a valid cumulative decomposition (a bucket whose le_ key
+// was absent before — all-zero prefix — would absorb the whole earlier
+// tail). Delta decodes both snapshots back to per-bucket counts, diffs
+// those, and re-encodes the difference, so a Delta is itself a
+// well-formed snapshot that MergeFlat folds in exactly.
 func Delta(before, after map[string]uint64) map[string]uint64 {
 	out := make(map[string]uint64)
+	var skip map[string]struct{}
+	for _, h := range registeredHistograms() {
+		ac, ok := after[h.countName]
+		if !ok {
+			continue
+		}
+		if skip == nil {
+			skip = make(map[string]struct{})
+		}
+		h.markKeys(skip)
+		bc := before[h.countName]
+		if ac <= bc {
+			continue // no new observations
+		}
+		out[h.countName] = ac - bc
+		if as, bs := after[h.sumName], before[h.sumName]; as > bs {
+			out[h.sumName] = as - bs
+		}
+		var ab, bb [histBuckets]uint64
+		decodeBuckets(after, h, &ab)
+		decodeBuckets(before, h, &bb)
+		var cum uint64
+		for i := range ab {
+			d := ab[i] - bb[i] // buckets are monotonic, never regress
+			if d == 0 {
+				continue
+			}
+			cum += d
+			out[h.leNames[i]] = cum
+		}
+	}
 	for name, v := range after {
+		if skip != nil {
+			if _, ok := skip[name]; ok {
+				continue
+			}
+		}
 		if b := before[name]; v > b {
 			out[name] = v - b
 		}
@@ -310,6 +412,89 @@ func Delta(before, after map[string]uint64) map[string]uint64 {
 		return nil
 	}
 	return out
+}
+
+// markKeys adds every snapshot key this histogram owns to set.
+func (h *Histogram) markKeys(set map[string]struct{}) {
+	set[h.countName] = struct{}{}
+	set[h.sumName] = struct{}{}
+	for i := range h.leNames {
+		set[h.leNames[i]] = struct{}{}
+	}
+}
+
+// decodeBuckets recovers per-bucket counts from a snapshot's cumulative
+// le_* keys. The emitter writes a key only for buckets with a nonzero
+// own count, so each present key's increment over the previous present
+// key is exactly that bucket's count.
+func decodeBuckets(snap map[string]uint64, h *Histogram, dst *[histBuckets]uint64) {
+	var prev uint64
+	for i := 0; i < histBuckets; i++ {
+		if v, ok := snap[h.leNames[i]]; ok {
+			dst[i] = v - prev
+			prev = v
+		}
+	}
+}
+
+// MergeFlat folds a flat snapshot produced by another process's
+// registry — a fleet worker's Snapshot, or a Delta of two such
+// snapshots — into this registry as if the work had happened here:
+// plain entries Add into the shared compat shard, and the
+// count/sum/le_* decomposition of each locally registered histogram is
+// decoded back into per-bucket observations, so merged bucket counts
+// (and the quantiles computed from them) stay exact. Decomposition
+// keys of histograms this binary never registered merge as plain
+// counters. Unlike the armed-gated probes MergeFlat always applies
+// (it is a pull-side merge, not a hot-path probe); idempotence is the
+// caller's job — the fleet coordinator merges each accepted unit's
+// delta exactly once. Returns the number of entries folded in
+// (counting a histogram decomposition as one).
+func MergeFlat(snap map[string]uint64) int {
+	if len(snap) == 0 {
+		return 0
+	}
+	merged := 0
+	var skip map[string]struct{}
+	for _, h := range registeredHistograms() {
+		count, ok := snap[h.countName]
+		if !ok {
+			continue
+		}
+		if skip == nil {
+			skip = make(map[string]struct{})
+		}
+		h.markKeys(skip)
+		if count == 0 {
+			continue
+		}
+		cells := global.hcells(h.hid)
+		var prev uint64
+		for i := 0; i < histBuckets; i++ {
+			if v, ok := snap[h.leNames[i]]; ok {
+				if v > prev {
+					cells.buckets[i].Add(v - prev)
+				}
+				prev = v
+			}
+		}
+		cells.count.Add(count)
+		cells.sum.Add(snap[h.sumName])
+		merged++
+	}
+	for name, v := range snap {
+		if skip != nil {
+			if _, ok := skip[name]; ok {
+				continue
+			}
+		}
+		if v == 0 {
+			continue
+		}
+		global.cell(Intern(name)).Add(v)
+		merged++
+	}
+	return merged
 }
 
 // Reset zeroes every counter, gauge and histogram across every shard
@@ -339,9 +524,11 @@ func sortedNames(snap map[string]uint64) []string {
 	return names
 }
 
-// WriteJSON writes the current snapshot as a sorted JSON object.
+// WriteJSON writes the current snapshot as a sorted JSON object, with
+// p50/p95/p99 summary keys appended for every populated histogram.
 func WriteJSON(w io.Writer) error {
 	snap := Snapshot()
+	appendQuantiles(snap)
 	names := sortedNames(snap)
 	var b strings.Builder
 	b.WriteString("{\n")
@@ -376,9 +563,11 @@ func promName(name string) string {
 
 // WritePrometheus writes the current snapshot in Prometheus text
 // exposition format (untyped samples; names sanitized and prefixed
-// with ctbia_).
+// with ctbia_), with p50/p95/p99 summary samples for every populated
+// histogram.
 func WritePrometheus(w io.Writer) error {
 	snap := Snapshot()
+	appendQuantiles(snap)
 	var b strings.Builder
 	for _, n := range sortedNames(snap) {
 		fmt.Fprintf(&b, "%s %d\n", promName(n), snap[n])

@@ -115,14 +115,20 @@ func (s Span) End() {
 	timeline.mu.Unlock()
 }
 
-// TimelineEventCount returns the number of buffered completed spans.
+// TimelineEventCount returns the number of buffered completed spans
+// (local and imported).
 func TimelineEventCount() int {
 	timeline.mu.Lock()
-	defer timeline.mu.Unlock()
-	return len(timeline.events)
+	n := len(timeline.events)
+	timeline.mu.Unlock()
+	imported.mu.Lock()
+	n += imported.total
+	imported.mu.Unlock()
+	return n
 }
 
-// ResetTimeline drops all buffered events and lane state.
+// ResetTimeline drops all buffered events and lane state, local and
+// imported.
 func ResetTimeline() {
 	timeline.mu.Lock()
 	timeline.events = nil
@@ -130,6 +136,85 @@ func ResetTimeline() {
 	timeline.nextLan = 0
 	timeline.dropped = 0
 	timeline.mu.Unlock()
+	imported.mu.Lock()
+	imported.sources = nil
+	imported.events = make(map[string][]event)
+	imported.total = 0
+	imported.mu.Unlock()
+}
+
+// WireEvent is one completed span in wire form: the shape a fleet
+// worker ships its buffered timeline in when uploading a result. Field
+// names are shortened — a quick sweep buffers thousands of spans per
+// unit and the whole batch rides in one JSON body.
+type WireEvent struct {
+	Name string `json:"n"`
+	Cat  string `json:"c,omitempty"`
+	TS   int64  `json:"t"` // ns, in the emitting process's clock
+	Dur  int64  `json:"d"` // ns
+	Lane int32  `json:"l"`
+}
+
+// TakeWireEvents drains the local span buffer into wire form (nil when
+// empty). A fleet worker calls it at result upload: spans accumulate
+// per unit, ship once, and the buffer restarts empty for the next
+// lease. Imported events are untouched — they belong to the merging
+// side.
+func TakeWireEvents() []WireEvent {
+	timeline.mu.Lock()
+	defer timeline.mu.Unlock()
+	if len(timeline.events) == 0 {
+		return nil
+	}
+	out := make([]WireEvent, len(timeline.events))
+	for i, e := range timeline.events {
+		out[i] = WireEvent{Name: e.name, Cat: e.cat, TS: e.ts, Dur: e.dur, Lane: e.lane}
+	}
+	timeline.events = timeline.events[:0]
+	return out
+}
+
+// imported holds spans merged from other processes, keyed by source
+// (fleet worker id). WriteTimeline renders each source as its own
+// Chrome process row, so a merged timeline shows one lane group per
+// worker next to the coordinator's own.
+var imported = struct {
+	mu      sync.Mutex
+	sources []string // insertion order — stable pids across a run
+	events  map[string][]event
+	total   int
+}{events: make(map[string][]event)}
+
+// ImportWireEvents merges spans shipped by a named source into the
+// timeline. offsetNS is added to every timestamp — the merging side's
+// estimate of (local clock − source clock), typically derived from
+// heartbeat RTT midpoints — so the rendered file lines the fleet up on
+// one clock. Bounded by the same cap as local collection.
+func ImportWireEvents(source string, offsetNS int64, evs []WireEvent) {
+	if len(evs) == 0 {
+		return
+	}
+	imported.mu.Lock()
+	defer imported.mu.Unlock()
+	if _, ok := imported.events[source]; !ok {
+		imported.sources = append(imported.sources, source)
+	}
+	buf := imported.events[source]
+	for _, e := range evs {
+		if imported.total >= maxTimelineEvents {
+			break
+		}
+		buf = append(buf, event{name: e.Name, cat: e.Cat, ts: e.TS + offsetNS, dur: e.Dur, lane: e.Lane})
+		imported.total++
+	}
+	imported.events[source] = buf
+}
+
+// TimelineImportedCount returns the number of imported spans buffered.
+func TimelineImportedCount() int {
+	imported.mu.Lock()
+	defer imported.mu.Unlock()
+	return imported.total
 }
 
 // traceEvent is the Chrome trace-event JSON shape (ts/dur in
@@ -150,22 +235,39 @@ type traceFile struct {
 	TraceEvents []traceEvent `json:"traceEvents"`
 }
 
-// WriteTimeline renders every buffered span as a Chrome trace-event
-// JSON object. Timestamps are rebased to the earliest span so the
-// viewer opens at t=0.
+// WriteTimeline renders every buffered span — local and imported — as
+// a Chrome trace-event JSON object. Timestamps are rebased to the
+// earliest span across all processes so the viewer opens at t=0; the
+// local process renders as pid 1 and each imported source (a fleet
+// worker) as its own named process, one lane group per worker.
 func WriteTimeline(w io.Writer) error {
 	timeline.mu.Lock()
 	events := append([]event(nil), timeline.events...)
 	dropped := timeline.dropped
 	timeline.mu.Unlock()
+	imported.mu.Lock()
+	sources := append([]string(nil), imported.sources...)
+	srcEvents := make(map[string][]event, len(sources))
+	for _, s := range sources {
+		srcEvents[s] = append([]event(nil), imported.events[s]...)
+	}
+	imported.mu.Unlock()
 
 	var base int64
-	for i, e := range events {
-		if i == 0 || e.ts < base {
-			base = e.ts
+	first := true
+	minTS := func(evs []event) {
+		for _, e := range evs {
+			if first || e.ts < base {
+				base = e.ts
+				first = false
+			}
 		}
 	}
-	tf := traceFile{TraceEvents: make([]traceEvent, 0, len(events)+2)}
+	minTS(events)
+	for _, s := range sources {
+		minTS(srcEvents[s])
+	}
+	tf := traceFile{TraceEvents: make([]traceEvent, 0, len(events)+len(sources)+2)}
 	tf.TraceEvents = append(tf.TraceEvents, traceEvent{
 		Name: "process_name", Ph: "M", PID: 1,
 		Args: map[string]any{"name": "ctbia"},
@@ -176,13 +278,24 @@ func WriteTimeline(w io.Writer) error {
 			Args: map[string]any{"dropped": dropped},
 		})
 	}
-	for _, e := range events {
+	appendEvents := func(pid int, evs []event) {
+		for _, e := range evs {
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: e.name, Cat: e.cat, Ph: "X",
+				TS:  float64(e.ts-base) / 1e3,
+				Dur: float64(e.dur) / 1e3,
+				PID: pid, TID: e.lane,
+			})
+		}
+	}
+	appendEvents(1, events)
+	for i, s := range sources {
+		pid := 2 + i
 		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
-			Name: e.name, Cat: e.cat, Ph: "X",
-			TS:  float64(e.ts-base) / 1e3,
-			Dur: float64(e.dur) / 1e3,
-			PID: 1, TID: e.lane,
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": "worker " + s},
 		})
+		appendEvents(pid, srcEvents[s])
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(&tf)
